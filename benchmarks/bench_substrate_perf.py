@@ -1,0 +1,81 @@
+"""P1 — Substrate performance micro-benchmarks.
+
+Throughput of the load-bearing substrate pieces (ESPRESSO, the BDD
+manager, the technology mapper, the reliability metrics).  These are true
+pytest-benchmark timings (multiple rounds), useful for catching
+performance regressions in the algorithms everything else sweeps over.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bdd import BddManager
+from repro.benchgen import mcnc_benchmark
+from repro.core.complexity import local_complexity_factor
+from repro.core.reliability import error_events
+from repro.espresso.cube import Cover
+from repro.espresso.minimize import espresso
+from repro.synth.library import generic_70nm_library
+from repro.synth.mapping import map_graph
+from repro.synth.network import LogicNetwork
+from repro.synth.subject import build_subject_graph
+
+
+@pytest.fixture(scope="module")
+def random_function():
+    rng = np.random.default_rng(0)
+    n = 9
+    phases = rng.choice(np.array([0, 1, 2], np.uint8), size=1 << n, p=[0.3, 0.3, 0.4])
+    on = Cover.from_minterms(n, np.flatnonzero(phases == 1))
+    dc = Cover.from_minterms(n, np.flatnonzero(phases == 2))
+    return on, dc
+
+
+def test_espresso_throughput(benchmark, random_function):
+    on, dc = random_function
+    cover = benchmark(espresso, on, dc)
+    assert cover.num_cubes > 0
+
+
+def test_bdd_build_throughput(benchmark):
+    rng = np.random.default_rng(1)
+    table = rng.random(1 << 12) < 0.5
+
+    def build():
+        manager = BddManager(12)
+        return manager, manager.from_truth_table(table)
+
+    manager, ref = benchmark(build)
+    assert manager.sat_count(ref) == int(table.sum())
+
+
+def test_mapper_throughput(benchmark):
+    spec = mcnc_benchmark("bench")
+    from repro.espresso.minimize import minimize_spec
+    from repro.synth.optimize import optimize_network
+
+    minimized = minimize_spec(spec)
+    network = LogicNetwork.from_covers(
+        list(spec.input_names), minimized.covers, list(spec.output_names)
+    )
+    optimize_network(network)
+    graph = build_subject_graph(network)
+    library = generic_70nm_library()
+    netlist = benchmark(map_graph, graph, library, mode="area")
+    assert netlist.num_gates > 0
+
+
+def test_reliability_metric_throughput(benchmark):
+    rng = np.random.default_rng(2)
+    phases = rng.choice(np.array([0, 1, 2], np.uint8), size=(12, 1 << 12),
+                        p=[0.25, 0.25, 0.5])
+    events = benchmark(error_events, phases)
+    assert int(np.sum(events)) >= 0
+
+
+def test_lcf_metric_throughput(benchmark):
+    rng = np.random.default_rng(3)
+    phases = rng.choice(np.array([0, 1, 2], np.uint8), size=(12, 1 << 12),
+                        p=[0.25, 0.25, 0.5])
+    lcf = benchmark(local_complexity_factor, phases)
+    assert lcf.shape == phases.shape

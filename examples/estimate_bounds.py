@@ -1,0 +1,68 @@
+"""Analytic reliability estimates and the Fig. 8 border-count contrast.
+
+Shows (1) the paper's two estimate families against the exact band on the
+Table 1 stand-ins, and (2) why border counts matter: two functions with
+identical signal probabilities but different clustering get very different
+bands.
+
+Run:  python examples/estimate_bounds.py
+"""
+
+import numpy as np
+
+from repro.benchgen import benchmark_names, mcnc_benchmark
+from repro.core.estimates import border_counts, estimate_report
+from repro.core.spec import FunctionSpec
+from repro.core.truthtable import DC, OFF, ON
+from repro.flows import format_table
+
+
+def fig8_contrast() -> None:
+    """Two 3-input specs, same signal probabilities, different borders."""
+    clustered = FunctionSpec(
+        np.array([[DC, DC, ON, ON, OFF, OFF, OFF, OFF]], dtype=np.uint8),
+        name="clustered",
+    )
+    scattered = FunctionSpec(
+        np.array([[DC, ON, OFF, OFF, OFF, OFF, ON, DC]], dtype=np.uint8),
+        name="scattered",
+    )
+    print("Fig. 8 contrast — identical signal probabilities:")
+    rows = []
+    for spec in (clustered, scattered):
+        b0, b1, bdc = (int(v[0]) for v in border_counts(spec.phases))
+        report = estimate_report(spec)
+        rows.append([
+            spec.name, b0, b1, bdc,
+            f"[{report.exact.lo:.3f},{report.exact.hi:.3f}]",
+            f"[{report.border.lo:.3f},{report.border.hi:.3f}]",
+            f"[{report.signal.lo:.3f},{report.signal.hi:.3f}]",
+        ])
+    print(format_table(["spec", "b0", "b1", "bDC", "exact", "border", "signal"], rows))
+    print("the signal estimate cannot tell the two apart; the border-based "
+          "estimate can.\n")
+
+
+def table3_bands() -> None:
+    print("estimate bands on the Table 1 stand-ins:")
+    rows = []
+    for name in benchmark_names()[:8]:  # the fast ones
+        report = estimate_report(mcnc_benchmark(name))
+        rows.append([
+            name,
+            f"[{report.exact.lo:.3f},{report.exact.hi:.3f}]",
+            f"[{report.signal.lo:.3f},{report.signal.hi:.3f}]",
+            f"[{report.border.lo:.3f},{report.border.hi:.3f}]",
+        ])
+    print(format_table(["benchmark", "exact", "signal-based", "border-based"], rows))
+    print("\nas in Table 3: signal-probability bands overshoot; "
+          "border bands track the exact ones.")
+
+
+def main() -> None:
+    fig8_contrast()
+    table3_bands()
+
+
+if __name__ == "__main__":
+    main()

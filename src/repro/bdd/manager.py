@@ -1,0 +1,355 @@
+"""A reduced ordered BDD (ROBDD) manager.
+
+The paper manipulates on-, off- and DC-sets with the CUDD package; this
+module is the reproduction's equivalent substrate.  It implements classic
+hash-consed ROBDDs with an ITE-based apply layer:
+
+* nodes are interned in a unique table, so graph equality is pointer
+  (index) equality — equivalence checks are ``O(1)`` after construction;
+* all Boolean connectives route through :meth:`BddManager.ite` with
+  memoisation;
+* quantification, restriction, composition, satisfying-assignment counting
+  and truth-table conversion live in :mod:`repro.bdd.ops` as methods here.
+
+Variables are identified by their index (0 is closest to the root).  The
+manager is deliberately simple — no complement edges, no dynamic
+reordering — because the functions in this reproduction are small; the
+point is behavioural fidelity, not raw capacity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["BddManager", "BddNode"]
+
+
+@dataclass(frozen=True)
+class BddNode:
+    """Internal node record: ``var`` is tested, lo/hi are cofactor refs."""
+
+    var: int
+    lo: int
+    hi: int
+
+
+class BddManager:
+    """A unique-table / computed-table ROBDD manager.
+
+    Functions are plain integers (node references); ``manager.zero`` and
+    ``manager.one`` are the terminals.  All functions returned by one
+    manager may be freely combined with each other but not across
+    managers.
+    """
+
+    def __init__(self, num_vars: int):
+        if num_vars < 0:
+            raise ValueError("num_vars must be non-negative")
+        self.num_vars = num_vars
+        self.zero: int = 0
+        self.one: int = 1
+        # Terminals occupy slots 0/1 with a sentinel var beyond every real one.
+        self._nodes: list[BddNode] = [
+            BddNode(num_vars, 0, 0),
+            BddNode(num_vars, 1, 1),
+        ]
+        self._unique: dict[tuple[int, int, int], int] = {}
+        self._ite_cache: dict[tuple[int, int, int], int] = {}
+
+    # ------------------------------------------------------------- structure
+
+    def node(self, ref: int) -> BddNode:
+        """The node record behind reference *ref*."""
+        return self._nodes[ref]
+
+    def var_of(self, ref: int) -> int:
+        """Top variable index of *ref* (``num_vars`` for terminals)."""
+        return self._nodes[ref].var
+
+    def is_terminal(self, ref: int) -> bool:
+        """True for the constant functions."""
+        return ref < 2
+
+    @property
+    def num_nodes(self) -> int:
+        """Total nodes ever interned (including both terminals)."""
+        return len(self._nodes)
+
+    def _mk(self, var: int, lo: int, hi: int) -> int:
+        if lo == hi:
+            return lo
+        key = (var, lo, hi)
+        ref = self._unique.get(key)
+        if ref is None:
+            ref = len(self._nodes)
+            self._nodes.append(BddNode(var, lo, hi))
+            self._unique[key] = ref
+        return ref
+
+    # ------------------------------------------------------------ base funcs
+
+    def var(self, index: int) -> int:
+        """The projection function of variable *index*."""
+        if not 0 <= index < self.num_vars:
+            raise ValueError(f"variable {index} out of range")
+        return self._mk(index, self.zero, self.one)
+
+    def nvar(self, index: int) -> int:
+        """The complemented projection function of variable *index*."""
+        if not 0 <= index < self.num_vars:
+            raise ValueError(f"variable {index} out of range")
+        return self._mk(index, self.one, self.zero)
+
+    def constant(self, value: bool) -> int:
+        """The constant function."""
+        return self.one if value else self.zero
+
+    # ------------------------------------------------------------------- ite
+
+    def ite(self, f: int, g: int, h: int) -> int:
+        """If-then-else: ``f & g | ~f & h`` — the universal connective."""
+        if f == self.one:
+            return g
+        if f == self.zero:
+            return h
+        if g == h:
+            return g
+        if g == self.one and h == self.zero:
+            return f
+        key = (f, g, h)
+        cached = self._ite_cache.get(key)
+        if cached is not None:
+            return cached
+        top = min(self.var_of(f), self.var_of(g), self.var_of(h))
+        f0, f1 = self._cofactors(f, top)
+        g0, g1 = self._cofactors(g, top)
+        h0, h1 = self._cofactors(h, top)
+        result = self._mk(top, self.ite(f0, g0, h0), self.ite(f1, g1, h1))
+        self._ite_cache[key] = result
+        return result
+
+    def _cofactors(self, ref: int, var: int) -> tuple[int, int]:
+        node = self._nodes[ref]
+        if node.var != var:
+            return ref, ref
+        return node.lo, node.hi
+
+    # ------------------------------------------------------------ connectives
+
+    def apply_not(self, f: int) -> int:
+        """Complement."""
+        return self.ite(f, self.zero, self.one)
+
+    def apply_and(self, f: int, g: int) -> int:
+        """Conjunction."""
+        return self.ite(f, g, self.zero)
+
+    def apply_or(self, f: int, g: int) -> int:
+        """Disjunction."""
+        return self.ite(f, self.one, g)
+
+    def apply_xor(self, f: int, g: int) -> int:
+        """Exclusive or."""
+        return self.ite(f, self.apply_not(g), g)
+
+    def apply_xnor(self, f: int, g: int) -> int:
+        """Equivalence."""
+        return self.ite(f, g, self.apply_not(g))
+
+    def apply_implies(self, f: int, g: int) -> int:
+        """Implication ``f -> g``."""
+        return self.ite(f, g, self.one)
+
+    def conjoin(self, refs) -> int:
+        """AND of an iterable of functions (1 for an empty iterable)."""
+        result = self.one
+        for ref in refs:
+            result = self.apply_and(result, ref)
+        return result
+
+    def disjoin(self, refs) -> int:
+        """OR of an iterable of functions (0 for an empty iterable)."""
+        result = self.zero
+        for ref in refs:
+            result = self.apply_or(result, ref)
+        return result
+
+    # ----------------------------------------------------------- restriction
+
+    def restrict(self, f: int, var: int, value: bool) -> int:
+        """Cofactor of *f* with variable *var* fixed to *value*."""
+        if not 0 <= var < self.num_vars:
+            raise ValueError(f"variable {var} out of range")
+        cache: dict[int, int] = {}
+
+        def walk(ref: int) -> int:
+            node = self._nodes[ref]
+            if node.var > var:
+                return ref
+            cached = cache.get(ref)
+            if cached is not None:
+                return cached
+            if node.var == var:
+                result = node.hi if value else node.lo
+            else:
+                result = self._mk(node.var, walk(node.lo), walk(node.hi))
+            cache[ref] = result
+            return result
+
+        return walk(f)
+
+    def compose(self, f: int, var: int, g: int) -> int:
+        """Substitute function *g* for variable *var* inside *f*."""
+        hi = self.restrict(f, var, True)
+        lo = self.restrict(f, var, False)
+        return self.ite(g, hi, lo)
+
+    def exists(self, f: int, variables) -> int:
+        """Existential quantification over *variables*."""
+        result = f
+        for var in variables:
+            result = self.apply_or(
+                self.restrict(result, var, False), self.restrict(result, var, True)
+            )
+        return result
+
+    def forall(self, f: int, variables) -> int:
+        """Universal quantification over *variables*."""
+        result = f
+        for var in variables:
+            result = self.apply_and(
+                self.restrict(result, var, False), self.restrict(result, var, True)
+            )
+        return result
+
+    # ------------------------------------------------------------ evaluation
+
+    def evaluate(self, f: int, assignment) -> bool:
+        """Evaluate *f* under a full variable assignment (indexable by var)."""
+        ref = f
+        while not self.is_terminal(ref):
+            node = self._nodes[ref]
+            ref = node.hi if assignment[node.var] else node.lo
+        return ref == self.one
+
+    def sat_count(self, f: int) -> int:
+        """Number of satisfying assignments over all ``num_vars`` variables."""
+        cache: dict[int, int] = {}
+
+        def walk(ref: int) -> int:
+            if ref == self.zero:
+                return 0
+            if ref == self.one:
+                return 1 << self.num_vars
+            cached = cache.get(ref)
+            if cached is not None:
+                return cached
+            node = self._nodes[ref]
+            total = (walk(node.lo) + walk(node.hi)) // 2
+            cache[ref] = total
+            return total
+
+        return walk(f)
+
+    def support(self, f: int) -> set[int]:
+        """The set of variables *f* structurally depends on."""
+        seen: set[int] = set()
+        variables: set[int] = set()
+        stack = [f]
+        while stack:
+            ref = stack.pop()
+            if ref in seen or self.is_terminal(ref):
+                continue
+            seen.add(ref)
+            node = self._nodes[ref]
+            variables.add(node.var)
+            stack.append(node.lo)
+            stack.append(node.hi)
+        return variables
+
+    def size(self, f: int) -> int:
+        """Number of distinct internal nodes reachable from *f*."""
+        seen: set[int] = set()
+        stack = [f]
+        count = 0
+        while stack:
+            ref = stack.pop()
+            if ref in seen or self.is_terminal(ref):
+                continue
+            seen.add(ref)
+            count += 1
+            node = self._nodes[ref]
+            stack.append(node.lo)
+            stack.append(node.hi)
+        return count
+
+    # ----------------------------------------------------------- truth table
+
+    def from_truth_table(self, values: np.ndarray) -> int:
+        """Build the BDD of a dense truth table.
+
+        ``values[x]`` is the function value at minterm ``x`` where bit ``j``
+        of ``x`` is variable ``j``.  The table length must be
+        ``2**num_vars``.  To keep minterm-index conventions aligned with
+        :mod:`repro.core.truthtable`, variable 0 (bit 0) is the *last* level
+        of the order.
+        """
+        values = np.asarray(values, dtype=bool)
+        if values.shape != (1 << self.num_vars,):
+            raise ValueError(
+                f"expected table of length {1 << self.num_vars}, got {values.shape}"
+            )
+
+        def build(var: int, table: np.ndarray) -> int:
+            if var == self.num_vars:
+                return self.one if table[0] else self.zero
+            # Variable `var` is bit `num_vars - 1 - level`; recurse on the
+            # highest remaining bit so that var order matches index order.
+            bit = table.shape[0] >> 1
+            lo = build(var + 1, table[:bit])
+            hi = build(var + 1, table[bit:])
+            return self._mk(var, lo, hi)
+
+        # Reorder: we want variable j to test bit j, with var 0 at the root.
+        # Build over bit-reversed table so root splits on bit 0.
+        n = self.num_vars
+        idx = np.arange(1 << n)
+        reversed_idx = np.zeros_like(idx)
+        for j in range(n):
+            reversed_idx |= (((idx >> j) & 1) << (n - 1 - j))
+        return build(0, values[reversed_idx])
+
+    def to_truth_table(self, f: int) -> np.ndarray:
+        """Dense boolean truth table of *f* (inverse of from_truth_table)."""
+        n = self.num_vars
+        cache: dict[int, np.ndarray] = {}
+
+        def walk(ref: int, var: int) -> np.ndarray:
+            """Table over variables var..n-1 (length 2**(n - var))."""
+            width = 1 << (n - var)
+            if ref == self.zero:
+                return np.zeros(width, dtype=bool)
+            if ref == self.one:
+                return np.ones(width, dtype=bool)
+            node = self._nodes[ref]
+            if node.var > var:
+                half = walk(ref, var + 1)
+                return np.concatenate([half, half])
+            key = ref
+            cached = cache.get(key)
+            if cached is None:
+                lo = walk(node.lo, var + 1)
+                hi = walk(node.hi, var + 1)
+                cached = np.concatenate([lo, hi])
+                cache[key] = cached
+            return cached
+
+        # walk() produces tables indexed var0-as-MSB; flip to bit order.
+        table = walk(f, 0)
+        idx = np.arange(1 << n)
+        reversed_idx = np.zeros_like(idx)
+        for j in range(n):
+            reversed_idx |= (((idx >> j) & 1) << (n - 1 - j))
+        return table[reversed_idx]

@@ -1,0 +1,15 @@
+"""Benchmark generation: synthetic functions and Table 1 stand-ins."""
+
+from .mcnc import TABLE1, BenchmarkInfo, benchmark_info, benchmark_names, mcnc_benchmark
+from .synthetic import care_fractions_from_expected, generate_output, generate_spec
+
+__all__ = [
+    "TABLE1",
+    "BenchmarkInfo",
+    "benchmark_info",
+    "benchmark_names",
+    "mcnc_benchmark",
+    "care_fractions_from_expected",
+    "generate_output",
+    "generate_spec",
+]

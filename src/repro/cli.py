@@ -1,0 +1,291 @@
+"""Command-line interface: ``repro <command> ...``.
+
+Commands
+--------
+
+``info <file.pla|name>``
+    Print shape, %DC, complexity factors and exact error bounds.
+``assign <file.pla|name> --policy P [--fraction F] [--threshold T] [-o OUT]``
+    Apply a DC-assignment policy and write the assigned PLA.
+``synth <file.pla|name> [--policy P] [--objective O]``
+    Run the full flow and print area/delay/power/gates/error rate.
+``estimate <file.pla|name>``
+    Print the exact, signal-probability and border estimate bands.
+``sweep <file.pla|name> [--objective O]``
+    Ranking-fraction sweep with normalised metrics (Fig. 4/5 style).
+``gen --inputs N --outputs M --cf C --dc D [-o OUT]``
+    Generate a synthetic benchmark PLA.
+
+Positional benchmark arguments accept either a ``.pla`` path or a Table 1
+stand-in name (``bench``, ``ex1010``, ...).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .benchgen import benchmark_names, generate_spec, mcnc_benchmark
+from .core.complexity import spec_complexity_factor, spec_expected_complexity_factor
+from .core.estimates import estimate_report
+from .core.reliability import exact_error_bounds
+from .core.spec import FunctionSpec
+from .flows.experiment import apply_policy, relative_metrics, run_flow
+from .flows.report import format_table
+from .pla import read_pla, write_pla
+
+__all__ = ["main"]
+
+
+def _load_spec(token: str) -> FunctionSpec:
+    if token.endswith(".pla"):
+        return read_pla(token)
+    if token in benchmark_names():
+        return mcnc_benchmark(token)
+    raise SystemExit(
+        f"unknown benchmark {token!r}: pass a .pla path or one of {benchmark_names()}"
+    )
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    spec = _load_spec(args.benchmark)
+    bounds = exact_error_bounds(spec)
+    rows = [
+        ["name", spec.name],
+        ["inputs", spec.num_inputs],
+        ["outputs", spec.num_outputs],
+        ["%DC", round(100 * spec.dc_fraction(), 1)],
+        ["C^f", round(spec_complexity_factor(spec), 3)],
+        ["E[C^f]", round(spec_expected_complexity_factor(spec), 3)],
+        ["exact error min", round(bounds.lo, 4)],
+        ["exact error max", round(bounds.hi, 4)],
+    ]
+    print(format_table(["property", "value"], rows))
+    return 0
+
+
+def _cmd_assign(args: argparse.Namespace) -> int:
+    spec = _load_spec(args.benchmark)
+    assigned, assignment = apply_policy(
+        spec, args.policy, fraction=args.fraction, threshold=args.threshold
+    )
+    print(
+        f"{args.policy}: decided {len(assignment)} DC entries "
+        f"({100 * assignment.fraction_of(spec):.1f}% of the DC set)"
+    )
+    if args.output:
+        write_pla(assigned, args.output)
+        print(f"wrote {args.output}")
+    return 0
+
+
+def _cmd_synth(args: argparse.Namespace) -> int:
+    spec = _load_spec(args.benchmark)
+    assigned, _ = apply_policy(
+        spec, args.policy, fraction=args.fraction, threshold=args.threshold
+    )
+    result = run_flow(
+        spec,
+        args.policy,
+        fraction=args.fraction,
+        threshold=args.threshold,
+        objective=args.objective,
+    )
+    if args.verilog:
+        from .synth.compile_ import compile_spec
+        from .synth.verilog import write_verilog
+
+        synthesis = compile_spec(
+            assigned, objective=args.objective, source_spec=spec
+        )
+        write_verilog(synthesis.netlist, args.verilog, module_name=spec.name)
+        print(f"wrote {args.verilog}")
+    rows = [
+        ["area", result.area],
+        ["delay", result.delay],
+        ["power", result.power],
+        ["gates", result.gates],
+        ["literals", result.literals],
+        ["error rate", result.error_rate],
+    ]
+    print(format_table(["metric", "value"], rows))
+    return 0
+
+
+def _cmd_estimate(args: argparse.Namespace) -> int:
+    spec = _load_spec(args.benchmark)
+    report = estimate_report(spec)
+    rows = [
+        ["exact", report.exact.lo, report.exact.hi],
+        ["signal-probability", report.signal.lo, report.signal.hi],
+        ["border/Poisson", report.border.lo, report.border.hi],
+    ]
+    print(format_table(["estimate", "min", "max"], rows))
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    spec = _load_spec(args.benchmark)
+    fractions = [i / (args.points - 1) for i in range(args.points)]
+    baseline = run_flow(spec, "ranking", fraction=0.0, objective=args.objective)
+    rows = []
+    for fraction in fractions:
+        result = (
+            baseline
+            if fraction == 0.0
+            else run_flow(spec, "ranking", fraction=fraction, objective=args.objective)
+        )
+        rel = relative_metrics(result, baseline)
+        rows.append(
+            [fraction, rel["error_rate"], rel["area"], rel["delay"], rel["power"]]
+        )
+    print(format_table(["fraction", "error", "area", "delay", "power"], rows))
+    return 0
+
+
+def _cmd_nodal(args: argparse.Namespace) -> int:
+    from .espresso.minimize import minimize_spec
+    from .synth.network import LogicNetwork
+    from .synth.odc import reassign_internal_dcs
+    from .synth.optimize import optimize_network
+    from .synth.renode import renode
+
+    spec = _load_spec(args.benchmark)
+    minimized = minimize_spec(spec)
+    network = LogicNetwork.from_covers(
+        list(spec.input_names), minimized.covers, list(spec.output_names)
+    )
+    optimize_network(network)
+    if args.renode:
+        network = renode(network, args.k)
+    report = reassign_internal_dcs(
+        network, policy=args.policy, threshold=args.threshold
+    )
+    rows = [
+        ["nodes", len(network.nodes)],
+        ["nodes rewritten", report.nodes_changed],
+        ["internal DCs assigned", report.dc_entries_assigned],
+        ["internal error before", report.error_rate_before],
+        ["internal error after", report.error_rate_after],
+    ]
+    print(format_table(["metric", "value"], rows, precision=4))
+    return 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    from .flows.export import export_all
+
+    paths = export_all(args.directory, names=args.benchmarks)
+    for path in paths:
+        print(f"wrote {path}")
+    return 0
+
+
+def _cmd_gen(args: argparse.Namespace) -> int:
+    spec = generate_spec(
+        args.name,
+        args.inputs,
+        args.outputs,
+        target_cf=args.cf,
+        dc_fraction=args.dc,
+        seed=args.seed,
+    )
+    print(
+        f"generated {spec.name}: C^f={spec_complexity_factor(spec):.3f} "
+        f"%DC={100 * spec.dc_fraction():.1f}"
+    )
+    if args.output:
+        write_pla(spec, args.output)
+        print(f"wrote {args.output}")
+    return 0
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reliability-driven don't care assignment (DATE 2011 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_policy_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--policy", default="conventional",
+                       choices=["conventional", "ranking", "cfactor", "complete"])
+        p.add_argument("--fraction", type=float, default=1.0,
+                       help="ranking fraction (policy=ranking)")
+        p.add_argument("--threshold", type=float, default=0.55,
+                       help="LC^f threshold (policy=cfactor)")
+
+    p_info = sub.add_parser("info", help="benchmark properties")
+    p_info.add_argument("benchmark")
+    p_info.set_defaults(func=_cmd_info)
+
+    p_assign = sub.add_parser("assign", help="apply a DC-assignment policy")
+    p_assign.add_argument("benchmark")
+    add_policy_args(p_assign)
+    p_assign.add_argument("-o", "--output", help="write assigned PLA here")
+    p_assign.set_defaults(func=_cmd_assign)
+
+    p_synth = sub.add_parser("synth", help="run the full synthesis flow")
+    p_synth.add_argument("benchmark")
+    add_policy_args(p_synth)
+    p_synth.add_argument("--objective", default="delay",
+                         choices=["delay", "power", "area"])
+    p_synth.add_argument("--verilog", help="also write the mapped netlist here")
+    p_synth.set_defaults(func=_cmd_synth)
+
+    p_est = sub.add_parser("estimate", help="min-max reliability estimates")
+    p_est.add_argument("benchmark")
+    p_est.set_defaults(func=_cmd_estimate)
+
+    p_sweep = sub.add_parser("sweep", help="ranking-fraction sweep")
+    p_sweep.add_argument("benchmark")
+    p_sweep.add_argument("--objective", default="power",
+                         choices=["delay", "power", "area"])
+    p_sweep.add_argument("--points", type=int, default=5)
+    p_sweep.set_defaults(func=_cmd_sweep)
+
+    p_nodal = sub.add_parser(
+        "nodal", help="internal-DC extraction and reassignment (Sec. 4)"
+    )
+    p_nodal.add_argument("benchmark")
+    p_nodal.add_argument("--policy", default="cfactor", choices=["cfactor", "ranking"])
+    p_nodal.add_argument("--threshold", type=float, default=1.0)
+    p_nodal.add_argument("--renode", action="store_true",
+                         help="repartition into k-feasible nodes first")
+    p_nodal.add_argument("--k", type=int, default=6, help="renode fanin bound")
+    p_nodal.set_defaults(func=_cmd_nodal)
+
+    p_export = sub.add_parser("export", help="write figure/table data as CSV")
+    p_export.add_argument("directory")
+    p_export.add_argument("--benchmarks", nargs="*", default=None,
+                          help="benchmark names (default: a fast subset)")
+    p_export.set_defaults(func=_cmd_export)
+
+    p_gen = sub.add_parser("gen", help="generate a synthetic benchmark")
+    p_gen.add_argument("--name", default="synthetic")
+    p_gen.add_argument("--inputs", type=int, required=True)
+    p_gen.add_argument("--outputs", type=int, required=True)
+    p_gen.add_argument("--cf", type=float, required=True)
+    p_gen.add_argument("--dc", type=float, required=True)
+    p_gen.add_argument("--seed", type=int, default=0)
+    p_gen.add_argument("-o", "--output", help="write generated PLA here")
+    p_gen.set_defaults(func=_cmd_gen)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:  # e.g. piped into `head`
+        try:
+            sys.stdout.close()
+        except OSError:
+            pass
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

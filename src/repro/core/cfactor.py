@@ -1,0 +1,73 @@
+"""Complexity-factor-based DC assignment (Fig. 7 of the paper).
+
+The experiments of Sec. 3.1 show that functions (and, locally,
+*neighbourhoods*) with a **low** complexity factor tolerate reliability-driven
+assignment with little or even negative area overhead, while high-complexity
+(SOP-friendly) regions suffer badly when their DCs are taken away from the
+area optimiser.  The complexity-factor-based algorithm therefore assigns
+exactly those DC minterms whose *local* complexity factor ``LC^f`` falls
+below a threshold, and defers everything else to conventional assignment.
+
+The paper recommends thresholds in ``[0.45, 0.65]``: low values favour
+performance, high values favour reliability.  The package default of 0.55
+is the midpoint.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .assignment import Assignment
+from .complexity import local_complexity_factor
+from .hamming import neighbor_phase_counts
+from .spec import FunctionSpec
+from .truthtable import DC, OFF, ON
+
+__all__ = [
+    "DEFAULT_THRESHOLD",
+    "THRESHOLD_RANGE",
+    "cfactor_assignment",
+    "cfactor_selected_minterms",
+]
+
+DEFAULT_THRESHOLD: float = 0.55
+"""Package-default ``LC^f`` threshold (midpoint of the paper's 0.45-0.65)."""
+
+THRESHOLD_RANGE: tuple[float, float] = (0.45, 0.65)
+"""The threshold range the paper recommends."""
+
+
+def cfactor_selected_minterms(spec: FunctionSpec, output: int, threshold: float) -> np.ndarray:
+    """DC minterms of *output* whose local complexity factor is below *threshold*."""
+    phases = spec.output_phases(output)
+    lcf = local_complexity_factor(phases)
+    return np.flatnonzero((phases == DC) & (lcf < threshold))
+
+
+def cfactor_assignment(
+    spec: FunctionSpec,
+    threshold: float = DEFAULT_THRESHOLD,
+) -> Assignment:
+    """Assign DC minterms in low-``LC^f`` neighbourhoods to the majority phase.
+
+    Follows Fig. 7 verbatim: a selected minterm goes to the on-set when it
+    has strictly more on- than off-neighbours and to the off-set otherwise
+    (ties included); unselected minterms stay DC for conventional synthesis.
+
+    Args:
+        spec: the incompletely specified function.
+        threshold: ``LC^f`` cut-off; the paper recommends 0.45-0.65.
+
+    Raises:
+        ValueError: if *threshold* is outside ``[0, 1]``.
+    """
+    if not 0.0 <= threshold <= 1.0:
+        raise ValueError(f"threshold must lie in [0, 1], got {threshold}")
+    assignment = Assignment()
+    for output in range(spec.num_outputs):
+        phases = spec.output_phases(output)
+        on_nb, off_nb, _ = neighbor_phase_counts(phases)
+        for minterm in cfactor_selected_minterms(spec, output, threshold):
+            value = ON if on_nb[minterm] > off_nb[minterm] else OFF
+            assignment.set(output, int(minterm), value)
+    return assignment

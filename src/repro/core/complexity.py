@@ -1,0 +1,99 @@
+"""Complexity-factor metrics (Sec. 2.2 and Sec. 4 of the paper).
+
+The *complexity factor* of Hurst, Miller and Muzio counts 1-Hamming-distance
+minterm pairs that share a phase; normalised by the ``n * 2**n`` ordered
+neighbour pairs it becomes the probability that a random neighbour of a
+random minterm has the same phase.  A normalised complexity factor of 1 is a
+constant function; 0 (for a fully specified function) is a parity function.
+Despite the name, *high* complexity factor means a *simpler* (smaller-SOP)
+function — the paper keeps the historical naming and so do we.
+
+The *local* complexity factor ``LC^f(x)`` restricts the statistic to the
+2-ball around ``x``: it averages, over the *n* neighbours ``x_j`` of ``x``,
+the fraction of each ``x_j``'s neighbours that share ``x_j``'s phase.  It is
+the selection metric of the complexity-factor-based assignment algorithm
+(Fig. 7).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .hamming import same_phase_neighbor_counts
+from .spec import FunctionSpec
+from .truthtable import neighbor_view, num_inputs_of, phase_fractions
+
+__all__ = [
+    "complexity_factor",
+    "expected_complexity_factor",
+    "local_complexity",
+    "local_complexity_factor",
+    "spec_complexity_factor",
+    "spec_expected_complexity_factor",
+]
+
+
+def complexity_factor(phases: np.ndarray) -> np.ndarray:
+    """Normalised complexity factor ``C^f`` along the last axis.
+
+    ``C^f = |{(x1, x2) : f(x1) = f(x2), D_H(x1, x2) = 1}| / (n * 2**n)``
+    over *ordered* pairs, i.e. the probability that a uniformly random
+    neighbour of a uniformly random minterm shares its phase.
+
+    Returns:
+        float (1-D input) or per-output float array (2-D input).
+    """
+    n = num_inputs_of(phases)
+    same = same_phase_neighbor_counts(phases)
+    total = same.sum(axis=-1, dtype=np.int64)
+    value = total / (n * phases.shape[-1])
+    return value if value.ndim else float(value)
+
+
+def expected_complexity_factor(phases: np.ndarray) -> np.ndarray:
+    """Expected complexity factor ``E[C^f] = f0**2 + f1**2 + fDC**2``.
+
+    This is the complexity factor a function would have if every minterm's
+    phase were drawn independently with the observed signal probabilities —
+    the null model against which Table 1 compares real benchmarks.
+    """
+    f0, f1, fdc = phase_fractions(phases)
+    value = f0 * f0 + f1 * f1 + fdc * fdc
+    return value if np.ndim(value) else float(value)
+
+
+def local_complexity(phases: np.ndarray) -> np.ndarray:
+    """Per-minterm same-phase-neighbour fraction ``c(x)``.
+
+    ``c(x)`` is the fraction of ``x``'s *n* neighbours sharing ``x``'s
+    phase; its average over all minterms is exactly :func:`complexity_factor`.
+    """
+    n = num_inputs_of(phases)
+    return same_phase_neighbor_counts(phases) / n
+
+
+def local_complexity_factor(phases: np.ndarray) -> np.ndarray:
+    """Normalised local complexity factor ``LC^f(x)`` for every minterm.
+
+    Per the paper's definition, ``LC^f(x_i)`` counts pairs ``(x_j, x_k)``
+    with ``D_H(x_i, x_j) = 1``, ``D_H(x_j, x_k) = 1`` and
+    ``f(x_j) = f(x_k)``, normalised by ``n**2``.  Equivalently it is the
+    mean of :func:`local_complexity` over the *n* neighbours of ``x_i``
+    (``x_i`` itself participates as a candidate ``x_k``).
+    """
+    n = num_inputs_of(phases)
+    local = local_complexity(phases)
+    acc = np.zeros(phases.shape, dtype=np.float64)
+    for bit in range(n):
+        acc += neighbor_view(local, bit)
+    return acc / n
+
+
+def spec_complexity_factor(spec: FunctionSpec) -> float:
+    """Benchmark-level ``C^f``: mean complexity factor over all outputs."""
+    return float(np.mean(complexity_factor(spec.phases)))
+
+
+def spec_expected_complexity_factor(spec: FunctionSpec) -> float:
+    """Benchmark-level ``E[C^f]``: mean expected complexity factor."""
+    return float(np.mean(expected_complexity_factor(spec.phases)))

@@ -1,0 +1,170 @@
+"""Analytic min-max reliability estimates (Sec. 5 of the paper).
+
+Both estimators predict the band ``[min, max]`` of achievable error rates of
+a specification *without* enumerating minterm neighbourhoods:
+
+* the **signal-probability estimate** models the on/off/DC phases of a
+  minterm's neighbours as i.i.d. draws with the observed signal
+  probabilities; the signed neighbour-balance ``Y = #on - #off`` is then
+  approximately Gaussian and ``min(#on, #off) = (n - |Y|) / 2`` has a
+  closed-form folded-normal expectation;
+* the **border estimate** additionally measures the three *border counts*
+  (Fig. 8) — directed 1-Hamming-distance pairs leaving the off-, on- and
+  DC-sets — which capture how clustered each set is, and models the
+  number of on-set neighbours of a DC minterm as Poisson.
+
+All results are expressed in the package's common error-rate units
+(events per ``n * 2**n`` — see :mod:`repro.core.reliability`) so they are
+directly comparable with the exact bounds and with measured circuit rates.
+Table 3's qualitative claim is that the signal estimate *overshoots* the
+exact band while the border estimate *contains* it.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from .reliability import ErrorBounds
+from .spec import FunctionSpec
+from .truthtable import DC, OFF, ON, neighbor_view, num_inputs_of, phase_fractions
+
+__all__ = [
+    "border_counts",
+    "signal_probability_bounds",
+    "border_bounds",
+    "estimate_report",
+    "EstimateReport",
+]
+
+
+def border_counts(phases: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Directed border counts ``(b0, b1, bDC)`` along the last axis.
+
+    ``b0`` counts ordered pairs ``(x_i, x_j)`` with ``x_i`` in the off-set,
+    ``x_j`` *not* in the off-set and ``D_H(x_i, x_j) = 1``; ``b1`` and
+    ``bDC`` analogously for the on- and DC-set.
+    """
+    n = num_inputs_of(phases)
+    b0 = np.zeros(phases.shape[:-1], dtype=np.int64)
+    b1 = np.zeros_like(b0)
+    bdc = np.zeros_like(b0)
+    for bit in range(n):
+        nb = neighbor_view(phases, bit)
+        b0 += np.count_nonzero((phases == OFF) & (nb != OFF), axis=-1)
+        b1 += np.count_nonzero((phases == ON) & (nb != ON), axis=-1)
+        bdc += np.count_nonzero((phases == DC) & (nb != DC), axis=-1)
+    return b0, b1, bdc
+
+
+def _folded_normal_mean(mu: float, sigma: float) -> float:
+    """``E[|Y|]`` for ``Y ~ Normal(mu, sigma**2)`` (exact closed form)."""
+    if sigma <= 0.0:
+        return abs(mu)
+    ratio = mu / (sigma * math.sqrt(2.0))
+    return sigma * math.sqrt(2.0 / math.pi) * math.exp(-ratio * ratio) + mu * math.erf(ratio)
+
+
+def _signal_bounds_one(phases: np.ndarray, n: int) -> tuple[float, float]:
+    f0, f1, fdc = phase_fractions(phases)
+    base_rate = 2.0 * float(f0) * float(f1)
+    mu = n * (float(f1) - float(f0))
+    var = n * (float(f1) + float(f0) - (float(f1) - float(f0)) ** 2)
+    abs_mean = _folded_normal_mean(mu, math.sqrt(max(var, 0.0)))
+    min_per_dc = (n - abs_mean) / 2.0
+    max_per_dc = (n + abs_mean) / 2.0
+    lo = base_rate + float(fdc) * max(min_per_dc, 0.0) / n
+    hi = base_rate + float(fdc) * min(max_per_dc, n) / n
+    return lo, hi
+
+
+def signal_probability_bounds(spec: FunctionSpec) -> ErrorBounds:
+    """Gaussian signal-probability estimate of the min/max error rate.
+
+    The per-output bands are averaged over outputs, matching how Table 3
+    reports one band per benchmark.
+    """
+    n = spec.num_inputs
+    bands = [_signal_bounds_one(spec.phases[out], n) for out in range(spec.num_outputs)]
+    lows, highs = zip(*bands)
+    return ErrorBounds(float(np.mean(lows)), float(np.mean(highs)))
+
+
+def _poisson_pmf(k: int, lam: float) -> float:
+    if lam <= 0.0:
+        return 1.0 if k == 0 else 0.0
+    return math.exp(k * math.log(lam) - lam - math.lgamma(k + 1))
+
+
+def _border_bounds_one(phases: np.ndarray, n: int) -> tuple[float, float]:
+    size = phases.shape[-1]
+    f0, f1, fdc = (float(v) for v in phase_fractions(phases))
+    b0, b1, bdc = (int(v) for v in border_counts(phases))
+
+    on_term = b1 * (f0 / (f0 + fdc)) if (f0 + fdc) > 0 else 0.0
+    off_term = b0 * (f1 / (f1 + fdc)) if (f1 + fdc) > 0 else 0.0
+    base_rate = (on_term + off_term) / (n * size)
+
+    if fdc == 0.0 or bdc == 0:
+        return base_rate, base_rate
+
+    borders_per_dc = bdc / (fdc * size)
+    care_borders = b0 + b1
+    lam = borders_per_dc * (b1 / care_borders) if care_borders else 0.0
+
+    half = int(borders_per_dc // 2)
+    top = int(borders_per_dc)
+    min_per_dc = 0.0
+    max_per_dc = 0.0
+    for i in range(0, top + 1):
+        pmf = _poisson_pmf(i, lam)
+        if i <= half:
+            min_per_dc += i * pmf
+            max_per_dc += (borders_per_dc - i) * pmf
+        else:
+            min_per_dc += (borders_per_dc - i) * pmf
+            max_per_dc += i * pmf
+
+    lo = base_rate + fdc * max(min_per_dc, 0.0) / n
+    hi = base_rate + fdc * max_per_dc / n
+    return lo, hi
+
+
+def border_bounds(spec: FunctionSpec) -> ErrorBounds:
+    """Border-count/Poisson estimate of the min/max error rate.
+
+    Uses formula (1) of the paper for the base error and the Poisson model
+    for the DC-neighbour distribution; per-output bands are averaged.
+    """
+    n = spec.num_inputs
+    bands = [_border_bounds_one(spec.phases[out], n) for out in range(spec.num_outputs)]
+    lows, highs = zip(*bands)
+    return ErrorBounds(float(np.mean(lows)), float(np.mean(highs)))
+
+
+@dataclass(frozen=True)
+class EstimateReport:
+    """All three Table 3 bands for one benchmark.
+
+    Attributes:
+        exact: enumerated exact min/max achievable error rates.
+        signal: Gaussian signal-probability estimate.
+        border: border-count/Poisson estimate.
+    """
+
+    exact: ErrorBounds
+    signal: ErrorBounds
+    border: ErrorBounds
+
+
+def estimate_report(spec: FunctionSpec) -> EstimateReport:
+    """Compute exact, signal-based and border-based bands for *spec*."""
+    from .reliability import exact_error_bounds
+
+    return EstimateReport(
+        exact=exact_error_bounds(spec),
+        signal=signal_probability_bounds(spec),
+        border=border_bounds(spec),
+    )

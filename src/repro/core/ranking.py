@@ -1,0 +1,88 @@
+"""Ranking-based DC assignment (Fig. 3 of the paper).
+
+For every DC minterm the *reliability weight* ``w = |on-neighbours -
+off-neighbours|`` measures how many single-bit input errors the minterm can
+mask by being assigned to its majority care phase rather than the minority
+one.  Minterms with ``w = 0`` are ambiguous (either phase masks equally
+many errors) and are never assigned — they stay DC for later conventional
+optimisation.  The remaining minterms are sorted by decreasing ``w`` and the
+top *fraction* of the list is assigned to the majority phase.
+
+The ranking uses neighbour counts of the *original* specification (the
+algorithm in the paper ranks once, up front; decisions do not cascade).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .assignment import Assignment
+from .hamming import neighbor_phase_counts
+from .spec import FunctionSpec
+from .truthtable import DC, OFF, ON
+
+__all__ = ["rank_dc_minterms", "ranking_assignment", "complete_assignment"]
+
+
+def rank_dc_minterms(spec: FunctionSpec, output: int) -> list[tuple[int, int, int]]:
+    """Rank the DC minterms of one output by reliability weight.
+
+    Returns:
+        List of ``(minterm, weight, majority_phase)`` tuples sorted by
+        decreasing weight (ties broken by ascending minterm index, making
+        the ranking deterministic).  Minterms with zero weight are omitted,
+        as in Fig. 3.
+    """
+    phases = spec.output_phases(output)
+    on_nb, off_nb, _ = neighbor_phase_counts(phases)
+    entries: list[tuple[int, int, int]] = []
+    for minterm in np.flatnonzero(phases == DC):
+        weight = int(abs(int(on_nb[minterm]) - int(off_nb[minterm])))
+        if weight == 0:
+            continue
+        majority = ON if on_nb[minterm] > off_nb[minterm] else OFF
+        entries.append((int(minterm), weight, majority))
+    entries.sort(key=lambda item: (-item[1], item[0]))
+    return entries
+
+
+def ranking_assignment(spec: FunctionSpec, fraction: float) -> Assignment:
+    """Assign the top *fraction* of rankable DC minterms of every output.
+
+    Args:
+        spec: the incompletely specified function.
+        fraction: in ``[0, 1]``; the fraction of each output's ranked DC
+            list to assign (rounded to the nearest integer count).
+
+    Returns:
+        The resulting (partial) :class:`~repro.core.assignment.Assignment`.
+
+    Raises:
+        ValueError: if *fraction* is outside ``[0, 1]``.
+    """
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(f"fraction must lie in [0, 1], got {fraction}")
+    assignment = Assignment()
+    for output in range(spec.num_outputs):
+        ranked = rank_dc_minterms(spec, output)
+        count = int(round(fraction * len(ranked)))
+        for minterm, _, majority in ranked[:count]:
+            assignment.set(output, minterm, majority)
+    return assignment
+
+
+def complete_assignment(spec: FunctionSpec) -> Assignment:
+    """Assign *every* DC minterm for reliability ("Complete" in Table 2).
+
+    Every DC minterm goes to its majority care phase; ambiguous minterms
+    (equal on- and off-neighbour counts, including isolated DC regions) go
+    to the off-set, mirroring the ``else x_i <- 0`` branch of Fig. 7.
+    """
+    assignment = Assignment()
+    for output in range(spec.num_outputs):
+        phases = spec.output_phases(output)
+        on_nb, off_nb, _ = neighbor_phase_counts(phases)
+        for minterm in np.flatnonzero(phases == DC):
+            majority = ON if on_nb[minterm] > off_nb[minterm] else OFF
+            assignment.set(output, int(minterm), majority)
+    return assignment

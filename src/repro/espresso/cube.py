@@ -1,0 +1,246 @@
+"""Cubes and covers for two-level minimisation.
+
+A *cube* over *n* binary inputs is a vector of per-variable literal codes:
+
+* ``V0`` (0) — the variable appears complemented (``x'``),
+* ``V1`` (1) — the variable appears uncomplemented (``x``),
+* ``FREE`` (2) — the variable does not appear (``-``).
+
+A *cover* is a set of cubes, stored as a ``uint8`` numpy array of shape
+``(num_cubes, num_inputs)``.  All the unate-recursive-paradigm operators of
+:mod:`repro.espresso.unate` and the ESPRESSO loop of
+:mod:`repro.espresso.minimize` work on :class:`Cover` objects.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "V0",
+    "V1",
+    "FREE",
+    "Cover",
+    "cube_contains",
+    "cube_intersection",
+    "cubes_intersect",
+    "cube_string",
+    "supercube",
+]
+
+V0: int = 0
+"""Literal code: variable complemented."""
+
+V1: int = 1
+"""Literal code: variable uncomplemented."""
+
+FREE: int = 2
+"""Literal code: variable absent from the cube."""
+
+_CHAR_OF = {V0: "0", V1: "1", FREE: "-"}
+_CODE_OF = {"0": V0, "1": V1, "-": FREE, "2": FREE}
+
+
+def cube_string(cube: np.ndarray) -> str:
+    """Render a cube as a ``01-`` string (input 0 first)."""
+    return "".join(_CHAR_OF[int(v)] for v in cube)
+
+
+def cube_contains(outer: np.ndarray, inner: np.ndarray) -> bool:
+    """True if every minterm of *inner* lies in *outer*."""
+    return bool(np.all((outer == FREE) | (outer == inner)))
+
+
+def cubes_intersect(a: np.ndarray, b: np.ndarray) -> bool:
+    """True if cubes *a* and *b* share at least one minterm."""
+    return not bool(np.any((a != FREE) & (b != FREE) & (a != b)))
+
+
+def cube_intersection(a: np.ndarray, b: np.ndarray) -> np.ndarray | None:
+    """The cube ``a AND b``, or None when the cubes are disjoint."""
+    if not cubes_intersect(a, b):
+        return None
+    return np.where(a == FREE, b, a).astype(np.uint8)
+
+
+def supercube(cubes: np.ndarray) -> np.ndarray:
+    """Smallest single cube containing every cube of the array.
+
+    Args:
+        cubes: array of shape ``(k, n)`` with ``k >= 1``.
+    """
+    if cubes.shape[0] == 0:
+        raise ValueError("supercube of an empty cover is undefined")
+    result = np.full(cubes.shape[1], FREE, dtype=np.uint8)
+    result[np.all(cubes == V0, axis=0)] = V0
+    result[np.all(cubes == V1, axis=0)] = V1
+    return result
+
+
+class Cover:
+    """An SOP cover: a set of cubes over a fixed number of inputs."""
+
+    __slots__ = ("cubes", "num_inputs")
+
+    def __init__(self, cubes: np.ndarray, num_inputs: int):
+        arr = np.asarray(cubes, dtype=np.uint8)
+        if arr.size == 0:
+            arr = arr.reshape(0, num_inputs)
+        if arr.ndim != 2 or arr.shape[1] != num_inputs:
+            raise ValueError(f"cube array shape {arr.shape} != (*, {num_inputs})")
+        if arr.size and int(arr.max()) > FREE:
+            raise ValueError("invalid literal code in cover")
+        self.cubes = arr
+        self.num_inputs = num_inputs
+
+    # ---------------------------------------------------------- constructors
+
+    @classmethod
+    def empty(cls, num_inputs: int) -> "Cover":
+        """The empty cover (constant 0)."""
+        return cls(np.empty((0, num_inputs), dtype=np.uint8), num_inputs)
+
+    @classmethod
+    def universe(cls, num_inputs: int) -> "Cover":
+        """The single all-FREE cube (constant 1)."""
+        return cls(np.full((1, num_inputs), FREE, dtype=np.uint8), num_inputs)
+
+    @classmethod
+    def from_minterms(cls, num_inputs: int, minterms) -> "Cover":
+        """One fully specified cube per minterm index."""
+        minterms = np.asarray(list(minterms), dtype=np.int64)
+        cubes = np.zeros((len(minterms), num_inputs), dtype=np.uint8)
+        for j in range(num_inputs):
+            cubes[:, j] = (minterms >> j) & 1
+        return cls(cubes, num_inputs)
+
+    @classmethod
+    def from_strings(cls, strings: list[str]) -> "Cover":
+        """Build a cover from ``01-`` cube strings (input 0 first)."""
+        if not strings:
+            raise ValueError("from_strings needs at least one cube string")
+        num_inputs = len(strings[0])
+        cubes = np.zeros((len(strings), num_inputs), dtype=np.uint8)
+        for i, text in enumerate(strings):
+            if len(text) != num_inputs:
+                raise ValueError(f"cube {text!r} has wrong width")
+            for j, ch in enumerate(text):
+                cubes[i, j] = _CODE_OF[ch]
+        return cls(cubes, num_inputs)
+
+    # ------------------------------------------------------------------ size
+
+    @property
+    def num_cubes(self) -> int:
+        """Number of cubes (product terms)."""
+        return self.cubes.shape[0]
+
+    @property
+    def num_literals(self) -> int:
+        """Total number of literals across all cubes."""
+        return int(np.count_nonzero(self.cubes != FREE))
+
+    def cost(self) -> tuple[int, int]:
+        """(cubes, literals) — the lexicographic cost ESPRESSO minimises."""
+        return (self.num_cubes, self.num_literals)
+
+    def __len__(self) -> int:
+        return self.num_cubes
+
+    def __bool__(self) -> bool:
+        return self.num_cubes > 0
+
+    # ------------------------------------------------------------ operations
+
+    def union(self, other: "Cover") -> "Cover":
+        """Cover containing the cubes of both operands (no simplification)."""
+        if other.num_inputs != self.num_inputs:
+            raise ValueError("covers over different input counts")
+        return Cover(np.vstack([self.cubes, other.cubes]), self.num_inputs)
+
+    def without_cube(self, index: int) -> "Cover":
+        """Cover with cube *index* removed."""
+        return Cover(np.delete(self.cubes, index, axis=0), self.num_inputs)
+
+    def cofactor(self, cube: np.ndarray) -> "Cover":
+        """The cofactor of this cover with respect to *cube*.
+
+        Rows disjoint from *cube* are dropped; in the remaining rows every
+        variable bound by *cube* is freed.  The result represents the
+        function restricted to the subspace of *cube*, expressed over the
+        full variable set (bound variables become irrelevant).
+        """
+        if self.num_cubes == 0:
+            return Cover.empty(self.num_inputs)
+        bound = cube != FREE
+        conflict = (self.cubes != FREE) & bound & (self.cubes != cube)
+        keep = ~np.any(conflict, axis=1)
+        rows = self.cubes[keep].copy()
+        rows[:, bound] = FREE
+        return Cover(rows, self.num_inputs)
+
+    def var_cofactor(self, var: int, value: int) -> "Cover":
+        """Shannon cofactor with respect to a single variable."""
+        cube = np.full(self.num_inputs, FREE, dtype=np.uint8)
+        cube[var] = value
+        return self.cofactor(cube)
+
+    def evaluate(self) -> np.ndarray:
+        """Dense boolean truth table (length ``2**num_inputs``) of the cover."""
+        n = self.num_inputs
+        size = 1 << n
+        result = np.zeros(size, dtype=bool)
+        idx = np.arange(size, dtype=np.int64)
+        for cube in self.cubes:
+            match = np.ones(size, dtype=bool)
+            for j in range(n):
+                if cube[j] != FREE:
+                    match &= ((idx >> j) & 1) == cube[j]
+            result |= match
+        return result
+
+    def covers_minterm(self, minterm: int) -> bool:
+        """True if any cube contains the given minterm index."""
+        for cube in self.cubes:
+            hit = True
+            for j in range(self.num_inputs):
+                if cube[j] != FREE and int((minterm >> j) & 1) != cube[j]:
+                    hit = False
+                    break
+            if hit:
+                return True
+        return False
+
+    def minterms(self) -> np.ndarray:
+        """Sorted indices of all covered minterms."""
+        return np.flatnonzero(self.evaluate())
+
+    def single_cube_containment(self) -> "Cover":
+        """Remove cubes contained in another cube of the cover."""
+        k = self.num_cubes
+        if k <= 1:
+            return self
+        cubes = self.cubes
+        # contains[j, i]: cube j contains cube i (vectorised pairwise test).
+        contains = np.all(
+            (cubes[:, None, :] == FREE) | (cubes[:, None, :] == cubes[None, :, :]),
+            axis=2,
+        )
+        np.fill_diagonal(contains, False)
+        keep = np.ones(k, dtype=bool)
+        for i in range(k):
+            for j in np.flatnonzero(contains[:, i]):
+                if not keep[j]:
+                    continue
+                if contains[i, j] and i < j:
+                    continue  # identical cubes: keep the first
+                keep[i] = False
+                break
+        return Cover(cubes[keep], self.num_inputs)
+
+    def cube_strings(self) -> list[str]:
+        """``01-`` strings of all cubes."""
+        return [cube_string(cube) for cube in self.cubes]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Cover({self.num_cubes} cubes, {self.num_inputs} inputs)"

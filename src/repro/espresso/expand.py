@@ -1,0 +1,79 @@
+"""EXPAND: grow every cube of the cover into a prime implicant.
+
+Each cube is expanded literal by literal against the off-set cover ``R``: a
+literal may be raised (set FREE) when the raised cube still intersects no
+off-set cube.  The raising order follows the classic column-count heuristic
+(raise the literal that conflicts with the fewest off-set cubes first, so
+the cube keeps the most freedom), and cubes made redundant by an expanded
+prime are dropped on the fly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .cube import FREE, Cover, cube_contains
+
+__all__ = ["expand"]
+
+
+def _expand_cube(cube: np.ndarray, off: np.ndarray) -> np.ndarray:
+    """Expand one cube to a prime against the off-set cube array."""
+    cube = cube.copy()
+    num_vars = cube.shape[0]
+    if off.shape[0] == 0:
+        return np.full(num_vars, FREE, dtype=np.uint8)
+    # conflicts[r, j] — off-cube r is kept away from `cube` by variable j.
+    conflicts = (cube != FREE) & (off != FREE) & (off != cube)
+    blocking = conflicts.sum(axis=1)
+    if np.any(blocking == 0):
+        raise ValueError("cube intersects the off-set; cover is inconsistent")
+    while True:
+        bound = np.flatnonzero(cube != FREE)
+        if bound.size == 0:
+            break
+        # A literal j is raisable iff no off-cube relies on it alone.
+        critical = np.zeros(num_vars, dtype=bool)
+        single = blocking == 1
+        if np.any(single):
+            critical |= np.any(conflicts[single], axis=0)
+        raisable = [int(j) for j in bound if not critical[j]]
+        if not raisable:
+            break
+        # Heuristic: raise the literal involved in the fewest conflicts, so
+        # the remaining literals keep blocking as many off-cubes as possible.
+        weights = conflicts.sum(axis=0)
+        best = min(raisable, key=lambda j: (int(weights[j]), j))
+        cube[best] = FREE
+        blocking -= conflicts[:, best]
+        conflicts[:, best] = False
+    return cube
+
+
+def expand(cover: Cover, off: Cover) -> Cover:
+    """Expand every cube of *cover* to a prime and drop covered cubes.
+
+    Args:
+        cover: current on-cover (must be disjoint from *off*).
+        off: the off-set cover of the function.
+
+    Returns:
+        A prime cover of the same function region.
+    """
+    if cover.num_cubes == 0:
+        return cover
+    # Process small cubes first: they gain the most and are the likeliest
+    # to swallow their siblings.
+    order = np.argsort(-np.count_nonzero(cover.cubes != FREE, axis=1), kind="stable")
+    cubes = cover.cubes[order]
+    alive = np.ones(len(cubes), dtype=bool)
+    result: list[np.ndarray] = []
+    for i in range(len(cubes)):
+        if not alive[i]:
+            continue
+        prime = _expand_cube(cubes[i], off.cubes)
+        result.append(prime)
+        rest = cubes[i + 1 :]
+        covered = np.all((prime == FREE) | (prime == rest), axis=1)
+        alive[i + 1 :] &= ~covered
+    return Cover(np.vstack(result), cover.num_inputs).single_cube_containment()

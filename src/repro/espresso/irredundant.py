@@ -1,0 +1,32 @@
+"""IRREDUNDANT: drop cubes covered by the rest of the cover plus the DC set.
+
+A cube ``c`` is redundant when ``(F \\ c) + D`` contains it, which reduces
+to a tautology check of the cofactor.  Cubes are examined from most- to
+least-specific (most literals first), so small special-case cubes are
+discarded before the large primes they hide under.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .cube import FREE, Cover
+from .unate import _is_tautology
+
+__all__ = ["irredundant"]
+
+
+def irredundant(cover: Cover, dont_care: Cover) -> Cover:
+    """Return an irredundant subset of *cover* w.r.t. the DC cover."""
+    cubes = cover.cubes
+    if cubes.shape[0] <= 1:
+        return cover
+    order = np.argsort(-np.count_nonzero(cubes != FREE, axis=1), kind="stable")
+    cubes = cubes[order]
+    alive = np.ones(len(cubes), dtype=bool)
+    for i in range(len(cubes)):
+        rest = np.vstack([cubes[alive & (np.arange(len(cubes)) != i)], dont_care.cubes])
+        rest_cover = Cover(rest, cover.num_inputs)
+        if _is_tautology(rest_cover.cofactor(cubes[i]).cubes):
+            alive[i] = False
+    return Cover(cubes[alive], cover.num_inputs)

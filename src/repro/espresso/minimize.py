@@ -1,0 +1,171 @@
+"""The ESPRESSO loop and spec-level minimisation entry points.
+
+``espresso(on, dc)`` runs the classic EXPAND → IRREDUNDANT → (REDUCE →
+EXPAND → IRREDUNDANT)* fixpoint on covers; ``minimize_spec`` applies it
+per output of a :class:`~repro.core.spec.FunctionSpec` and is the package's
+"conventional DC assignment" engine: don't cares are absorbed into
+implicants whenever that shrinks the cover, exactly like feeding a
+``.type fd`` PLA through espresso.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.spec import FunctionSpec
+from .cube import FREE, Cover, cubes_intersect, supercube
+from .expand import _expand_cube, expand
+from .irredundant import irredundant
+from .reduce_ import reduce_cover
+from .unate import _complement, complement
+
+__all__ = ["espresso", "minimize_spec", "MinimizedFunction"]
+
+_MAX_ITERATIONS = 20
+"""Safety bound on the improvement loop (it converges in a few passes)."""
+
+_LAST_GASP_LIMIT = 200
+"""Skip the O(cubes^2) LAST_GASP pass above this cover size."""
+
+
+def _max_reduce_one(cover: Cover, index: int, dont_care: Cover) -> np.ndarray:
+    """Maximally reduce one cube independently of the other reductions."""
+    rest = Cover(
+        np.vstack([np.delete(cover.cubes, index, axis=0), dont_care.cubes]),
+        cover.num_inputs,
+    )
+    others = rest.cofactor(cover.cubes[index])
+    unique_part = _complement(others.cubes, cover.num_inputs)
+    if unique_part.shape[0] == 0:
+        return cover.cubes[index]
+    shrink = supercube(unique_part)
+    merged = cover.cubes[index].copy()
+    bound = shrink != FREE
+    merged[bound] = shrink[bound]
+    return merged
+
+
+def _last_gasp(cover: Cover, dont_care: Cover, off: Cover) -> Cover:
+    """ESPRESSO's LAST_GASP: escape cyclic local minima.
+
+    Each cube is maximally reduced *independently*; pairs of reduced cubes
+    whose supercube misses the off-set witness a prime that covers two
+    current cubes at once.  Those primes are added and IRREDUNDANT picks a
+    (hopefully smaller) cover.
+    """
+    k = cover.num_cubes
+    if k < 2 or k > _LAST_GASP_LIMIT:
+        return cover
+    reduced = np.vstack([_max_reduce_one(cover, i, dont_care) for i in range(k)])
+    pair_i, pair_j = np.triu_indices(k, 1)
+    # Pairwise supercubes: keep a literal only where both cubes agree.
+    left, right = reduced[pair_i], reduced[pair_j]
+    supercubes = np.where(left == right, left, FREE).astype(np.uint8)
+    # A candidate is useful iff it misses the off-set entirely: every
+    # off-cube must conflict with it on at least one variable.
+    extra: list[np.ndarray] = []
+    off_rows = off.cubes
+    chunk = max(1, 2_000_000 // max(1, off_rows.shape[0] * reduced.shape[1]))
+    for start in range(0, supercubes.shape[0], chunk):
+        block = supercubes[start : start + chunk]
+        conflict = (
+            (block[:, None, :] != FREE)
+            & (off_rows[None, :, :] != FREE)
+            & (block[:, None, :] != off_rows[None, :, :])
+        ).any(axis=2)
+        valid = conflict.all(axis=1)
+        for row in block[valid]:
+            extra.append(_expand_cube(row, off_rows))
+    if not extra:
+        return cover
+    widened = Cover(np.vstack([cover.cubes] + extra), cover.num_inputs)
+    widened = widened.single_cube_containment()
+    return irredundant(widened, dont_care)
+
+
+def espresso(on: Cover, dc: Cover | None = None) -> Cover:
+    """Heuristically minimise ``on`` using the don't-care cover ``dc``.
+
+    Args:
+        on: cover of the on-set (any cover whose care part equals it).
+        dc: cover of the don't-care set (default: empty).
+
+    Returns:
+        A prime, irredundant cover ``F`` with
+        ``on <= F <= on + dc`` and (heuristically) minimal
+        ``(num_cubes, num_literals)``.
+
+    Raises:
+        ValueError: if *on* and *dc* are inconsistent (overlapping
+            complement), surfaced from the expansion step.
+    """
+    num_inputs = on.num_inputs
+    if dc is None:
+        dc = Cover.empty(num_inputs)
+    if on.num_cubes == 0:
+        return on
+    off = complement(on.union(dc))
+    cover = expand(on, off)
+    cover = irredundant(cover, dc)
+    best = cover
+    gasped = False
+    for _ in range(_MAX_ITERATIONS):
+        cost = best.cost()
+        cover = reduce_cover(cover, dc)
+        cover = expand(cover, off)
+        cover = irredundant(cover, dc)
+        if cover.cost() < cost:
+            best = cover
+            continue
+        if gasped:
+            break
+        # Converged: one LAST_GASP attempt to escape a cyclic local minimum.
+        gasped = True
+        cover = _last_gasp(best, dc, off)
+        if cover.cost() < cost:
+            best = cover
+        else:
+            break
+    return best
+
+
+class MinimizedFunction:
+    """Per-output minimised covers of a spec, with evaluation helpers."""
+
+    def __init__(self, spec: FunctionSpec, covers: list[Cover]):
+        self.spec = spec
+        self.covers = covers
+
+    @property
+    def total_cubes(self) -> int:
+        """Sum of cube counts over all outputs."""
+        return sum(cover.num_cubes for cover in self.covers)
+
+    @property
+    def total_literals(self) -> int:
+        """Sum of literal counts over all outputs."""
+        return sum(cover.num_literals for cover in self.covers)
+
+    def truth_values(self) -> np.ndarray:
+        """Boolean output table implied by the covers (DCs decided)."""
+        return np.vstack([cover.evaluate() for cover in self.covers])
+
+    def completed_spec(self) -> FunctionSpec:
+        """The fully specified function the covers implement.
+
+        Raises:
+            ValueError: if a cover disagrees with the original care set —
+                which would indicate a minimiser bug, so this doubles as a
+                runtime self-check.
+        """
+        return self.spec.assigned(self.truth_values(), suffix="/espresso")
+
+
+def minimize_spec(spec: FunctionSpec) -> MinimizedFunction:
+    """Run espresso on every output of *spec* (DCs used for minimisation)."""
+    covers = []
+    for out in range(spec.num_outputs):
+        on = Cover.from_minterms(spec.num_inputs, spec.on_set(out))
+        dc = Cover.from_minterms(spec.num_inputs, spec.dc_set(out))
+        covers.append(espresso(on, dc))
+    return MinimizedFunction(spec, covers)

@@ -1,0 +1,173 @@
+"""Multi-output exact two-level minimisation (shared AND plane).
+
+Our per-output ESPRESSO runs minimise each output independently, which is
+what the multi-level flow wants — but a *PLA* implementation shares its
+product terms across outputs, and the true two-level cost is the number of
+distinct AND-plane rows.  This module implements the classical
+multi-output Quine–McCluskey formulation:
+
+* a *multi-output implicant* is a pair ``(cube, outputs)`` such that the
+  cube fits inside ``on ∪ dc`` of every tagged output;
+* it is *prime* when neither the cube can be enlarged nor the output set
+  extended;
+* the covering problem asks for the fewest implicants covering every
+  ``(on-minterm, output)`` pair.
+
+Multi-output primes are exactly the primes of the product functions
+``∏_{o in S} (on_o + dc_o)`` over output subsets ``S``, tagged with the
+maximal such ``S`` — which is how they are enumerated here.  Exponential
+in the output count by nature; intended for the small-function regime
+(the same one the exact single-output oracle serves).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.spec import FunctionSpec
+from ..core.truthtable import DC, ON
+from .cube import FREE, Cover, cube_contains
+from .qm import _CoverSolver, prime_implicants
+
+__all__ = ["MultiOutputCover", "minimize_multi_output"]
+
+_MAX_OUTPUTS = 10
+"""Refuse inputs beyond this output count (2^m subset enumeration)."""
+
+
+@dataclass(frozen=True)
+class MultiOutputCover:
+    """A shared-AND-plane two-level implementation.
+
+    Attributes:
+        num_inputs: input count.
+        rows: list of ``(cube, frozenset of output indices)`` pairs.
+        num_outputs: output count.
+        proven_optimal: False when covering fell back to greedy.
+    """
+
+    num_inputs: int
+    num_outputs: int
+    rows: tuple[tuple[np.ndarray, frozenset], ...]
+    proven_optimal: bool
+
+    @property
+    def num_product_terms(self) -> int:
+        """Distinct AND-plane rows — the PLA area metric."""
+        return len(self.rows)
+
+    def truth_values(self) -> np.ndarray:
+        """Boolean output table implied by the shared cover."""
+        size = 1 << self.num_inputs
+        table = np.zeros((self.num_outputs, size), dtype=bool)
+        idx = np.arange(size)
+        for cube, outputs in self.rows:
+            match = np.ones(size, dtype=bool)
+            for j in range(self.num_inputs):
+                if cube[j] != FREE:
+                    match &= ((idx >> j) & 1) == cube[j]
+            for output in outputs:
+                table[output] |= match
+        return table
+
+    def implements(self, spec: FunctionSpec) -> bool:
+        """True when the cover matches *spec* within its DC set."""
+        return spec.equivalent_within_dc(
+            FunctionSpec.from_truth_table(self.truth_values())
+        )
+
+
+def _allowed_mask(spec: FunctionSpec, outputs: frozenset) -> np.ndarray:
+    mask = np.ones(spec.num_minterms, dtype=bool)
+    for output in outputs:
+        mask &= spec.phases[output] != 0  # ON or DC
+    return mask
+
+
+def minimize_multi_output(
+    spec: FunctionSpec, *, node_limit: int = 200_000
+) -> MultiOutputCover:
+    """Exact minimum-product-term shared cover of *spec*.
+
+    Args:
+        spec: the incompletely specified multi-output function.
+        node_limit: branch-and-bound budget for the covering step.
+
+    Raises:
+        ValueError: if the output count exceeds the supported bound.
+    """
+    m = spec.num_outputs
+    if m > _MAX_OUTPUTS:
+        raise ValueError(
+            f"{m} outputs exceeds the exact multi-output bound ({_MAX_OUTPUTS})"
+        )
+    n = spec.num_inputs
+
+    # Enumerate candidate implicants: primes of every output-subset product
+    # function, tagged with their *maximal* output set.
+    candidates: dict[bytes, tuple[np.ndarray, frozenset]] = {}
+    for subset_bits in range(1, 1 << m):
+        outputs = frozenset(o for o in range(m) if (subset_bits >> o) & 1)
+        allowed = _allowed_mask(spec, outputs)
+        if not np.any(allowed):
+            continue
+        primes = prime_implicants(n, np.flatnonzero(allowed))
+        for cube in primes.cubes:
+            # Maximal output tag for this cube: every output whose
+            # allowed set contains the cube.
+            tag = frozenset(
+                o for o in range(m)
+                if _cube_inside(cube, spec.phases[o])
+            )
+            key = cube.tobytes()
+            existing = candidates.get(key)
+            if existing is None or len(tag) > len(existing[1]):
+                candidates[key] = (cube.copy(), tag)
+
+    implicants = list(candidates.values())
+    # Covering table over (on-minterm, output) pairs.
+    targets: list[tuple[int, int]] = []
+    for output in range(m):
+        for minterm in np.flatnonzero(spec.phases[output] == ON):
+            targets.append((int(minterm), output))
+    if not targets:
+        return MultiOutputCover(n, m, (), True)
+    table = []
+    for minterm, output in targets:
+        columns = frozenset(
+            index
+            for index, (cube, tag) in enumerate(implicants)
+            if output in tag and _covers_minterm(cube, minterm)
+        )
+        table.append(columns)
+    solver = _CoverSolver(table, len(implicants), node_limit)
+    chosen, optimal = solver.solve()
+    rows = []
+    for index in sorted(chosen):
+        cube, tag = implicants[index]
+        # Shrink the tag to outputs that actually need this row?  Keeping
+        # the maximal tag is harmless for ON coverage but may wrongly turn
+        # on a DC of another output — which is allowed by definition.
+        rows.append((cube, tag))
+    return MultiOutputCover(n, m, tuple(rows), optimal)
+
+
+def _cube_inside(cube: np.ndarray, phases: np.ndarray) -> bool:
+    """True if every minterm of *cube* is ON or DC for the output."""
+    n = cube.shape[0]
+    size = 1 << n
+    idx = np.arange(size)
+    match = np.ones(size, dtype=bool)
+    for j in range(n):
+        if cube[j] != FREE:
+            match &= ((idx >> j) & 1) == cube[j]
+    return not bool(np.any(match & (phases == 0)))
+
+
+def _covers_minterm(cube: np.ndarray, minterm: int) -> bool:
+    for j in range(cube.shape[0]):
+        if cube[j] != FREE and int((minterm >> j) & 1) != cube[j]:
+            return False
+    return True

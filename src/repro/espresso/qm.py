@@ -1,0 +1,166 @@
+"""Quine–McCluskey exact two-level minimisation (small functions).
+
+Provided as an oracle for cross-checking the heuristic ESPRESSO loop: on
+functions small enough to enumerate (≲ 12 inputs for prime generation,
+fewer for exact covering), :func:`quine_mccluskey` returns a cover of
+provably minimum cube count.  The covering step is a branch-and-bound
+unate-covering solver with essential-prime extraction and row/column
+dominance, falling back to a documented greedy bound above a work limit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .cube import FREE, Cover
+
+__all__ = ["prime_implicants", "quine_mccluskey"]
+
+
+def prime_implicants(num_inputs: int, on_minterms, dc_minterms=()) -> Cover:
+    """All prime implicants of the function (on-set + DC used for merging).
+
+    Implicants are represented as ``(value, mask)`` pairs during merging:
+    ``mask`` bits are FREE positions, ``value`` holds the bound literals.
+    """
+    care = sorted(set(int(m) for m in on_minterms) | set(int(m) for m in dc_minterms))
+    if not care:
+        return Cover.empty(num_inputs)
+    current = {(m, 0) for m in care}
+    primes: set[tuple[int, int]] = set()
+    while current:
+        merged_away: set[tuple[int, int]] = set()
+        next_level: set[tuple[int, int]] = set()
+        by_mask: dict[int, list[int]] = {}
+        for value, mask in current:
+            by_mask.setdefault(mask, []).append(value)
+        for mask, values in by_mask.items():
+            value_set = set(values)
+            for value in values:
+                for bit in range(num_inputs):
+                    flip = 1 << bit
+                    if mask & flip:
+                        continue
+                    if (value ^ flip) in value_set:
+                        lo = min(value, value ^ flip)
+                        next_level.add((lo, mask | flip))
+                        merged_away.add((value, mask))
+                        merged_away.add((value ^ flip, mask))
+        primes |= current - merged_away
+        current = next_level
+    rows = np.full((len(primes), num_inputs), FREE, dtype=np.uint8)
+    for row, (value, mask) in enumerate(sorted(primes)):
+        for bit in range(num_inputs):
+            if not (mask >> bit) & 1:
+                rows[row, bit] = (value >> bit) & 1
+    return Cover(rows, num_inputs)
+
+
+def _prime_covers(prime: np.ndarray, minterm: int) -> bool:
+    for bit in range(prime.shape[0]):
+        literal = prime[bit]
+        if literal != FREE and int((minterm >> bit) & 1) != literal:
+            return False
+    return True
+
+
+class _CoverSolver:
+    """Branch-and-bound minimum unate covering."""
+
+    def __init__(self, table: list[frozenset[int]], num_cols: int, node_limit: int):
+        self.table = table  # per row: set of columns covering it
+        self.num_cols = num_cols
+        self.node_limit = node_limit
+        self.nodes = 0
+        self.best: set[int] | None = None
+
+    def solve(self) -> tuple[set[int], bool]:
+        """Return (column set, proven_optimal)."""
+        self._search(set(range(len(self.table))), set())
+        optimal = self.nodes <= self.node_limit
+        assert self.best is not None
+        return self.best, optimal
+
+    def _greedy(self, rows: set[int], chosen: set[int]) -> set[int]:
+        chosen = set(chosen)
+        rows = set(rows)
+        while rows:
+            counts: dict[int, int] = {}
+            for row in rows:
+                for col in self.table[row]:
+                    counts[col] = counts.get(col, 0) + 1
+            col = max(counts, key=lambda c: (counts[c], -c))
+            chosen.add(col)
+            rows = {row for row in rows if col not in self.table[row]}
+        return chosen
+
+    def _search(self, rows: set[int], chosen: set[int]) -> None:
+        self.nodes += 1
+        if self.best is not None and len(chosen) >= len(self.best):
+            return
+        if not rows:
+            self.best = set(chosen)
+            return
+        if self.nodes > self.node_limit:
+            candidate = self._greedy(rows, chosen)
+            if self.best is None or len(candidate) < len(self.best):
+                self.best = candidate
+            return
+        # Essential columns: rows covered by exactly one column.
+        essential = {next(iter(self.table[row])) for row in rows if len(self.table[row]) == 1}
+        if essential:
+            chosen = chosen | essential
+            rows = {
+                row for row in rows if not (self.table[row] & essential)
+            }
+            self._search(rows, chosen)
+            return
+        # Lower bound: a set of pairwise-disjoint rows each needs its own column.
+        bound = 0
+        used: set[int] = set()
+        for row in sorted(rows, key=lambda r: len(self.table[r])):
+            if not (self.table[row] & used):
+                bound += 1
+                used |= self.table[row]
+        if self.best is not None and len(chosen) + bound >= len(self.best):
+            return
+        # Branch on the hardest row, trying each covering column.
+        row = min(rows, key=lambda r: len(self.table[r]))
+        for col in sorted(self.table[row]):
+            new_rows = {r for r in rows if col not in self.table[r]}
+            self._search(new_rows, chosen | {col})
+
+
+def quine_mccluskey(
+    num_inputs: int,
+    on_minterms,
+    dc_minterms=(),
+    *,
+    node_limit: int = 200_000,
+) -> tuple[Cover, bool]:
+    """Exact minimum-cube-count cover of the function.
+
+    Args:
+        num_inputs: number of inputs.
+        on_minterms: minterms that must be covered.
+        dc_minterms: minterms that may be covered.
+        node_limit: branch-and-bound budget before falling back to greedy.
+
+    Returns:
+        ``(cover, proven_optimal)`` — the flag is False only when the
+        covering search hit *node_limit* and a greedy completion was used.
+    """
+    on = sorted(set(int(m) for m in on_minterms))
+    primes = prime_implicants(num_inputs, on, dc_minterms)
+    if not on:
+        return Cover.empty(num_inputs), True
+    table = []
+    for minterm in on:
+        cols = frozenset(
+            col for col in range(primes.num_cubes) if _prime_covers(primes.cubes[col], minterm)
+        )
+        table.append(cols)
+    solver = _CoverSolver(table, primes.num_cubes, node_limit)
+    chosen, optimal = solver.solve()
+    rows = primes.cubes[sorted(chosen)]
+    return Cover(rows, num_inputs), optimal

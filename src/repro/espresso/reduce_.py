@@ -1,0 +1,48 @@
+"""REDUCE: shrink each cube to the smallest cube still needed.
+
+For each cube ``c`` (largest first), the part of ``c`` not covered by the
+rest of the cover plus the DC set is what ``c`` uniquely contributes; ``c``
+is replaced by the smallest cube containing that part:
+
+    c_new = c  AND  supercube( complement( cofactor(F \\ c + D, c) ) )
+
+Reducing un-primes the cover on purpose — the following EXPAND can then
+escape the local minimum by growing the cubes in a different direction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .cube import FREE, Cover, supercube
+from .unate import _complement
+
+__all__ = ["reduce_cover"]
+
+
+def reduce_cover(cover: Cover, dont_care: Cover) -> Cover:
+    """Return the maximally reduced version of *cover* (order-dependent)."""
+    cubes = cover.cubes.copy()
+    if cubes.shape[0] == 0:
+        return cover
+    num_vars = cover.num_inputs
+    order = np.argsort(np.count_nonzero(cubes != FREE, axis=1), kind="stable")
+    cubes = cubes[order]
+    alive = np.ones(len(cubes), dtype=bool)
+    for i in range(len(cubes)):
+        rest_rows = np.vstack(
+            [cubes[alive & (np.arange(len(cubes)) != i)], dont_care.cubes]
+        )
+        rest = Cover(rest_rows, num_vars)
+        others = rest.cofactor(cubes[i])
+        unique_part = _complement(others.cubes, num_vars)
+        if unique_part.shape[0] == 0:
+            # Fully covered by the rest: the cube contributes nothing.
+            alive[i] = False
+            continue
+        shrink = supercube(unique_part)
+        merged = cubes[i].copy()
+        bound = shrink != FREE
+        merged[bound] = shrink[bound]
+        cubes[i] = merged
+    return Cover(cubes[alive], num_vars)

@@ -1,0 +1,208 @@
+"""Unate-recursive-paradigm operators: tautology and complement.
+
+These are the classic Brayton et al. recursive procedures underlying
+ESPRESSO.  Both recurse by Shannon expansion about the *most binate*
+variable, with unate shortcuts at the leaves:
+
+* a cover containing an all-FREE cube is a tautology / has empty complement;
+* a cover that is *unate* in a variable can drop the half that cannot help
+  cover the opposite polarity (tautology), and single cubes complement by
+  De Morgan.
+
+Small subproblems (few active variables) fall through to dense truth-table
+evaluation, which is both simple and fast at this scale.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .cube import FREE, V0, V1, Cover
+
+__all__ = ["is_tautology", "complement", "cover_contains_cube", "covers_cover"]
+
+_DENSE_LIMIT = 8
+"""Fall back to dense evaluation at or below this many active variables."""
+
+
+def _active_vars(cubes: np.ndarray) -> np.ndarray:
+    """Indices of variables bound by at least one cube."""
+    if cubes.shape[0] == 0:
+        return np.empty(0, dtype=np.int64)
+    return np.flatnonzero(np.any(cubes != FREE, axis=0))
+
+
+def _most_binate_var(cubes: np.ndarray) -> int | None:
+    """The variable with both polarities present maximising min(#0s, #1s).
+
+    Returns None when the cover is unate (no variable has both polarities).
+    """
+    count0 = np.count_nonzero(cubes == V0, axis=0)
+    count1 = np.count_nonzero(cubes == V1, axis=0)
+    binate = (count0 > 0) & (count1 > 0)
+    if not np.any(binate):
+        return None
+    score = np.where(binate, np.minimum(count0, count1) + count0 + count1, -1)
+    return int(np.argmax(score))
+
+
+def _dense_tautology(cubes: np.ndarray, active: np.ndarray) -> bool:
+    """Exhaustively evaluate the cover over its active variables."""
+    k = len(active)
+    size = 1 << k
+    covered = np.zeros(size, dtype=bool)
+    idx = np.arange(size, dtype=np.int64)
+    for cube in cubes:
+        match = np.ones(size, dtype=bool)
+        for pos, var in enumerate(active):
+            literal = cube[var]
+            if literal != FREE:
+                match &= ((idx >> pos) & 1) == literal
+        covered |= match
+        if covered.all():
+            return True
+    return bool(covered.all())
+
+
+def is_tautology(cover: Cover) -> bool:
+    """True when the cover evaluates to 1 on every minterm."""
+    return _is_tautology(cover.cubes)
+
+
+def _is_tautology(cubes: np.ndarray) -> bool:
+    if cubes.shape[0] == 0:
+        return False
+    free_rows = np.all(cubes == FREE, axis=1)
+    if np.any(free_rows):
+        return True
+    active = _active_vars(cubes)
+    # Quick necessary condition: a cover of k cubes over v active variables
+    # covers at most k * 2**(v - min_literals) minterms.
+    literals = np.count_nonzero(cubes != FREE, axis=1)
+    if float(np.sum(np.exp2(-literals.astype(np.float64)))) < 1.0:
+        return False
+    # Unate reduction: if some variable appears in only one polarity, cubes
+    # bound to that polarity cannot cover the other half-space alone; the
+    # cover is a tautology iff the FREE-at-var subcover is.
+    count0 = np.count_nonzero(cubes == V0, axis=0)
+    count1 = np.count_nonzero(cubes == V1, axis=0)
+    pos_unate = np.flatnonzero((count1 > 0) & (count0 == 0))
+    neg_unate = np.flatnonzero((count0 > 0) & (count1 == 0))
+    if pos_unate.size or neg_unate.size:
+        unate_vars = np.concatenate([pos_unate, neg_unate])
+        keep = ~np.any(cubes[:, unate_vars] != FREE, axis=1)
+        return _is_tautology(cubes[keep])
+    if len(active) <= _DENSE_LIMIT:
+        return _dense_tautology(cubes, active)
+    var = _most_binate_var(cubes)
+    assert var is not None  # unate covers were handled above
+    return _is_tautology(_var_cofactor(cubes, var, V1)) and _is_tautology(
+        _var_cofactor(cubes, var, V0)
+    )
+
+
+def _var_cofactor(cubes: np.ndarray, var: int, value: int) -> np.ndarray:
+    keep = (cubes[:, var] == FREE) | (cubes[:, var] == value)
+    rows = cubes[keep].copy()
+    rows[:, var] = FREE
+    return rows
+
+
+def _cube_complement(cube: np.ndarray) -> np.ndarray:
+    """De Morgan complement of a single cube (one row per bound literal)."""
+    bound = np.flatnonzero(cube != FREE)
+    rows = np.full((len(bound), len(cube)), FREE, dtype=np.uint8)
+    for row, var in enumerate(bound):
+        rows[row, var] = V1 - cube[var]
+    return rows
+
+
+def _dense_complement(cubes: np.ndarray, active: np.ndarray) -> np.ndarray:
+    """Complement by truth-table enumeration over the active variables.
+
+    Off-minterms of the active subspace become fully bound cubes over the
+    active variables (FREE elsewhere).  Used only at small active counts.
+    """
+    k = len(active)
+    size = 1 << k
+    covered = np.zeros(size, dtype=bool)
+    idx = np.arange(size, dtype=np.int64)
+    for cube in cubes:
+        match = np.ones(size, dtype=bool)
+        for pos, var in enumerate(active):
+            literal = cube[var]
+            if literal != FREE:
+                match &= ((idx >> pos) & 1) == literal
+        covered |= match
+    off = np.flatnonzero(~covered)
+    rows = np.full((len(off), cubes.shape[1]), FREE, dtype=np.uint8)
+    for row, point in enumerate(off):
+        for pos, var in enumerate(active):
+            rows[row, var] = (int(point) >> pos) & 1
+    return rows
+
+
+def _merge_shannon(
+    num_vars: int, var: int, comp0: np.ndarray, comp1: np.ndarray
+) -> np.ndarray:
+    """Assemble ``x'·comp0 + x·comp1``, merging cubes equal up to *var*."""
+    if comp0.shape[0] == 0 and comp1.shape[0] == 0:
+        return np.empty((0, num_vars), dtype=np.uint8)
+    if comp0.shape[0]:
+        comp0 = np.unique(comp0, axis=0)
+    if comp1.shape[0]:
+        comp1 = np.unique(comp1, axis=0)
+    seen: dict[bytes, int] = {}
+    rows: list[np.ndarray] = []
+    for value, part in ((V0, comp0), (V1, comp1)):
+        for cube in part:
+            key = cube.tobytes()
+            if key in seen:
+                # The same residual cube appears in both branches: the
+                # split variable is irrelevant for it.
+                rows[seen[key]][var] = FREE
+                continue
+            merged = cube.copy()
+            merged[var] = value
+            seen[key] = len(rows)
+            rows.append(merged)
+    return np.vstack(rows) if rows else np.empty((0, num_vars), dtype=np.uint8)
+
+
+def complement(cover: Cover) -> Cover:
+    """The complement of *cover* as a new cover."""
+    return Cover(_complement(cover.cubes, cover.num_inputs), cover.num_inputs)
+
+
+def _complement(cubes: np.ndarray, num_vars: int) -> np.ndarray:
+    if cubes.shape[0] == 0:
+        return np.full((1, num_vars), FREE, dtype=np.uint8)
+    if np.any(np.all(cubes == FREE, axis=1)):
+        return np.empty((0, num_vars), dtype=np.uint8)
+    if cubes.shape[0] == 1:
+        return _cube_complement(cubes[0])
+    active = _active_vars(cubes)
+    if len(active) <= min(_DENSE_LIMIT, 6):
+        return _dense_complement(cubes, active)
+    var = _most_binate_var(cubes)
+    if var is None:
+        # Unate cover: split about the most frequently bound variable.
+        counts = np.count_nonzero(cubes != FREE, axis=0)
+        var = int(np.argmax(counts))
+    comp0 = _complement(_var_cofactor(cubes, var, V0), num_vars)
+    comp1 = _complement(_var_cofactor(cubes, var, V1), num_vars)
+    return _merge_shannon(num_vars, var, comp0, comp1)
+
+
+def cover_contains_cube(cover: Cover, cube: np.ndarray) -> bool:
+    """True when every minterm of *cube* is covered by *cover*.
+
+    Implemented as the classic containment-to-tautology reduction:
+    ``cube <= cover  iff  cofactor(cover, cube)`` is a tautology.
+    """
+    return _is_tautology(cover.cofactor(cube).cubes)
+
+
+def covers_cover(outer: Cover, inner: Cover) -> bool:
+    """True when *outer* covers every cube of *inner*."""
+    return all(cover_contains_cube(outer, cube) for cube in inner.cubes)

@@ -1,0 +1,31 @@
+"""Experiment flows: one call per paper artefact data point."""
+
+from .experiment import POLICIES, FlowResult, apply_policy, relative_metrics, run_flow
+from .export import export_all
+from .report import format_table
+from .sweep import (
+    Table2Row,
+    Table3Row,
+    family_tradeoff,
+    fraction_sweep,
+    table2_row,
+    table3_row,
+    threshold_sweep,
+)
+
+__all__ = [
+    "POLICIES",
+    "FlowResult",
+    "apply_policy",
+    "relative_metrics",
+    "run_flow",
+    "export_all",
+    "format_table",
+    "Table2Row",
+    "Table3Row",
+    "family_tradeoff",
+    "fraction_sweep",
+    "table2_row",
+    "table3_row",
+    "threshold_sweep",
+]

@@ -1,0 +1,142 @@
+"""End-to-end experiment flows: policy -> assignment -> synthesis -> metrics.
+
+One :func:`run_flow` call reproduces one data point of the paper's
+evaluation: apply a DC-assignment *policy* to a benchmark, push the result
+through the conventional synthesis stack (ESPRESSO for the remaining DCs,
+multi-level optimisation, mapping, objective tuning) and measure area,
+delay, power, gate count and the input-error rate against the original
+care set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.assignment import Assignment
+from ..core.cfactor import DEFAULT_THRESHOLD, cfactor_assignment
+from ..core.ranking import complete_assignment, ranking_assignment
+from ..core.spec import FunctionSpec
+from ..synth.compile_ import SynthesisResult, compile_spec
+from ..synth.library import Library
+
+__all__ = ["POLICIES", "FlowResult", "apply_policy", "run_flow", "relative_metrics"]
+
+POLICIES = ("conventional", "ranking", "cfactor", "complete")
+"""The four assignment policies of the evaluation."""
+
+
+@dataclass(frozen=True)
+class FlowResult:
+    """One measured implementation.
+
+    Attributes:
+        benchmark: benchmark name.
+        policy: assignment policy used.
+        parameter: the policy's knob (fraction or threshold; 0 otherwise).
+        objective: synthesis objective.
+        fraction_assigned: fraction of DC entries decided for reliability.
+        area / delay / power / gates / literals / error_rate: measurements.
+    """
+
+    benchmark: str
+    policy: str
+    parameter: float
+    objective: str
+    fraction_assigned: float
+    area: float
+    delay: float
+    power: float
+    gates: int
+    literals: int
+    error_rate: float
+
+
+def apply_policy(
+    spec: FunctionSpec,
+    policy: str,
+    *,
+    fraction: float = 1.0,
+    threshold: float = DEFAULT_THRESHOLD,
+) -> tuple[FunctionSpec, Assignment]:
+    """Produce the (partially) assigned spec for a policy.
+
+    Raises:
+        ValueError: on unknown policy names.
+    """
+    if policy == "conventional":
+        assignment = Assignment()
+    elif policy == "ranking":
+        assignment = ranking_assignment(spec, fraction)
+    elif policy == "cfactor":
+        assignment = cfactor_assignment(spec, threshold)
+    elif policy == "complete":
+        assignment = complete_assignment(spec)
+    else:
+        raise ValueError(f"unknown policy {policy!r}; choose from {POLICIES}")
+    assigned = assignment.apply(spec) if len(assignment) else spec
+    return assigned, assignment
+
+
+def run_flow(
+    spec: FunctionSpec,
+    policy: str = "conventional",
+    *,
+    fraction: float = 1.0,
+    threshold: float = DEFAULT_THRESHOLD,
+    objective: str = "delay",
+    library: Library | None = None,
+) -> FlowResult:
+    """Apply a policy and synthesise, returning all measurements."""
+    assigned, assignment = apply_policy(
+        spec, policy, fraction=fraction, threshold=threshold
+    )
+    result: SynthesisResult = compile_spec(
+        assigned, objective=objective, library=library, source_spec=spec
+    )
+    if policy == "ranking":
+        parameter = fraction
+    elif policy == "cfactor":
+        parameter = threshold
+    else:
+        parameter = 0.0
+    return FlowResult(
+        benchmark=spec.name,
+        policy=policy,
+        parameter=parameter,
+        objective=objective,
+        fraction_assigned=assignment.fraction_of(spec),
+        area=result.area,
+        delay=result.delay,
+        power=result.power,
+        gates=result.num_gates,
+        literals=result.literals,
+        error_rate=result.error_rate,
+    )
+
+
+def relative_metrics(result: FlowResult, baseline: FlowResult) -> dict[str, float]:
+    """Normalise a result against the conventional baseline.
+
+    Returns:
+        ``area``, ``delay``, ``power``, ``error_rate`` ratios (baseline =
+        1.0, as in Figs. 4-6) plus ``area_improvement_pct`` and
+        ``error_improvement_pct`` (positive = better, as in Table 2).
+    """
+
+    def ratio(value: float, reference: float) -> float:
+        if reference:
+            return value / reference
+        # A zero baseline happens for degenerate (wire-only) circuits: any
+        # non-zero cost is an unbounded relative overhead.
+        return float("inf") if value else 1.0
+
+    area_ratio = ratio(result.area, baseline.area)
+    error_ratio = ratio(result.error_rate, baseline.error_rate)
+    return {
+        "area": area_ratio,
+        "delay": ratio(result.delay, baseline.delay),
+        "power": ratio(result.power, baseline.power),
+        "error_rate": error_ratio,
+        "area_improvement_pct": 100.0 * (1.0 - area_ratio),
+        "error_improvement_pct": 100.0 * (1.0 - error_ratio),
+    }

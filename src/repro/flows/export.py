@@ -1,0 +1,141 @@
+"""CSV export of regenerated figure/table data.
+
+The benchmarks print human-readable tables; this module writes the same
+data as machine-readable CSV so the figures can be re-plotted with any
+external tool.  ``export_all`` regenerates every figure's data into a
+directory (this is what ``repro export`` drives).
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+from pathlib import Path
+
+from ..benchgen import TABLE1, mcnc_benchmark
+from ..core.complexity import spec_complexity_factor, spec_expected_complexity_factor
+from .experiment import relative_metrics, run_flow
+from .sweep import table2_row, table3_row
+
+__all__ = ["export_table1", "export_fraction_sweep", "export_table2", "export_table3", "export_all"]
+
+
+def _write_csv(path: Path, header: list[str], rows: list[list]) -> None:
+    with open(path, "w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(header)
+        writer.writerows(rows)
+
+
+def export_table1(directory: Path, names: list[str]) -> Path:
+    """Write the Table 1 properties of the chosen benchmarks."""
+    rows = []
+    for info in TABLE1:
+        if info.name not in names:
+            continue
+        spec = mcnc_benchmark(info.name)
+        rows.append([
+            info.name, spec.num_inputs, spec.num_outputs,
+            round(100 * spec.dc_fraction(), 2),
+            round(spec_expected_complexity_factor(spec), 4),
+            round(spec_complexity_factor(spec), 4),
+        ])
+    path = directory / "table1_properties.csv"
+    _write_csv(path, ["name", "inputs", "outputs", "dc_percent", "expected_cf", "cf"], rows)
+    return path
+
+
+def export_fraction_sweep(
+    directory: Path,
+    names: list[str],
+    fractions: list[float],
+    objective: str = "power",
+) -> Path:
+    """Write the Fig. 4/5 sweep data (normalised metrics per fraction)."""
+    rows = []
+    for name in names:
+        spec = mcnc_benchmark(name)
+        baseline = run_flow(spec, "ranking", fraction=0.0, objective=objective)
+        for fraction in fractions:
+            result = (
+                baseline if fraction == 0.0
+                else run_flow(spec, "ranking", fraction=fraction, objective=objective)
+            )
+            rel = relative_metrics(result, baseline)
+            rows.append([
+                name, fraction,
+                round(rel["error_rate"], 5), round(rel["area"], 5),
+                round(rel["delay"], 5), round(rel["power"], 5),
+            ])
+    path = directory / f"fig45_sweep_{objective}.csv"
+    _write_csv(
+        path,
+        ["benchmark", "fraction", "error_norm", "area_norm", "delay_norm", "power_norm"],
+        rows,
+    )
+    return path
+
+
+def export_table2(directory: Path, names: list[str]) -> Path:
+    """Write Table 2 rows."""
+    rows = []
+    for name in names:
+        row = table2_row(mcnc_benchmark(name))
+        rows.append([
+            row.benchmark, round(row.cf, 4),
+            round(row.lcf_area, 2), round(row.lcf_error, 2),
+            round(row.ranking_area, 2), round(row.ranking_error, 2),
+            round(row.complete_area, 2), round(row.complete_error, 2),
+        ])
+    path = directory / "table2_assignment.csv"
+    _write_csv(
+        path,
+        ["name", "cf", "lcf_area_pct", "lcf_error_pct",
+         "ranking_area_pct", "ranking_error_pct",
+         "complete_area_pct", "complete_error_pct"],
+        rows,
+    )
+    return path
+
+
+def export_table3(directory: Path, names: list[str]) -> Path:
+    """Write Table 3 rows."""
+    rows = []
+    for name in names:
+        row = table3_row(mcnc_benchmark(name))
+        rows.append([
+            row.benchmark, row.gates,
+            round(row.exact.lo, 5), round(row.exact.hi, 5),
+            round(row.signal.lo, 5), round(row.signal.hi, 5),
+            round(row.border.lo, 5), round(row.border.hi, 5),
+            round(row.conventional_rate, 5), round(row.conventional_diff_pct, 2),
+            round(row.lcf_rate, 5), round(row.lcf_diff_pct, 2),
+        ])
+    path = directory / "table3_estimates.csv"
+    _write_csv(
+        path,
+        ["name", "gates", "exact_lo", "exact_hi", "signal_lo", "signal_hi",
+         "border_lo", "border_hi", "conv_rate", "conv_diff_pct",
+         "lcf_rate", "lcf_diff_pct"],
+        rows,
+    )
+    return path
+
+
+def export_all(
+    directory: str | os.PathLike,
+    *,
+    names: list[str] | None = None,
+    fractions: list[float] | None = None,
+) -> list[Path]:
+    """Regenerate all figure/table CSVs into *directory*."""
+    target = Path(directory)
+    target.mkdir(parents=True, exist_ok=True)
+    names = names or ["bench", "fout", "p3", "test4", "exam"]
+    fractions = fractions or [0.0, 0.25, 0.5, 0.75, 1.0]
+    return [
+        export_table1(target, names),
+        export_fraction_sweep(target, names, fractions),
+        export_table2(target, names),
+        export_table3(target, names),
+    ]

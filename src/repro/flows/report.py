@@ -1,0 +1,41 @@
+"""Plain-text table formatting for benchmark and CLI reports."""
+
+from __future__ import annotations
+
+__all__ = ["format_table"]
+
+
+def format_table(
+    headers: list[str],
+    rows: list[list[object]],
+    *,
+    precision: int = 3,
+) -> str:
+    """Render rows as a fixed-width text table.
+
+    Floats are formatted to *precision* decimals; everything else via
+    ``str``.  Columns are right-aligned except the first.
+    """
+
+    def render(value: object) -> str:
+        if isinstance(value, float):
+            return f"{value:.{precision}f}"
+        return str(value)
+
+    text_rows = [[render(value) for value in row] for row in rows]
+    widths = [
+        max(len(headers[col]), *(len(row[col]) for row in text_rows)) if text_rows
+        else len(headers[col])
+        for col in range(len(headers))
+    ]
+
+    def line(cells: list[str]) -> str:
+        parts = []
+        for col, cell in enumerate(cells):
+            parts.append(cell.ljust(widths[col]) if col == 0 else cell.rjust(widths[col]))
+        return "  ".join(parts)
+
+    separator = "  ".join("-" * width for width in widths)
+    body = [line(headers), separator]
+    body.extend(line(row) for row in text_rows)
+    return "\n".join(body)

@@ -1,0 +1,211 @@
+"""Sweeps and table builders for the paper's figures and tables.
+
+Each function here regenerates the data behind one artefact:
+
+* :func:`fraction_sweep` — Figs. 4 and 5 (ranking fraction 0 -> 1);
+* :func:`family_tradeoff` — Fig. 6 (area vs error rate per C^f family);
+* :func:`table2_row` — Table 2 (LC^f vs ranking vs complete);
+* :func:`table3_row` — Table 3 (estimate bands and achieved rates);
+* :func:`threshold_sweep` — the LC^f-threshold ablation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..benchgen.synthetic import generate_spec
+from ..core.cfactor import DEFAULT_THRESHOLD, cfactor_assignment
+from ..core.estimates import border_bounds, signal_probability_bounds
+from ..core.reliability import ErrorBounds, exact_error_bounds
+from ..core.spec import FunctionSpec
+from .experiment import FlowResult, relative_metrics, run_flow
+
+__all__ = [
+    "fraction_sweep",
+    "family_tradeoff",
+    "table2_row",
+    "Table2Row",
+    "table3_row",
+    "Table3Row",
+    "threshold_sweep",
+]
+
+
+def fraction_sweep(
+    spec: FunctionSpec,
+    fractions: list[float],
+    *,
+    objective: str = "delay",
+) -> list[FlowResult]:
+    """Ranking-based results across assignment fractions (Figs. 4-5)."""
+    return [
+        run_flow(spec, "ranking", fraction=fraction, objective=objective)
+        for fraction in fractions
+    ]
+
+
+def family_tradeoff(
+    *,
+    num_inputs: int = 11,
+    num_outputs: int = 11,
+    complexity_factors: list[float] = (0.45, 0.55, 0.65, 0.75, 0.85),
+    functions_per_family: int = 10,
+    fractions: list[float] = (0.0, 0.25, 0.5, 0.75, 1.0),
+    dc_fraction: float = 0.6,
+    objective: str = "power",
+    seed: int = 0,
+) -> dict[float, list[dict[str, float]]]:
+    """Fig. 6: normalised (area, error rate) trajectories per C^f family.
+
+    Returns:
+        Map from family C^f to a list of ``{fraction, area, error_rate}``
+        points averaged over the family's functions, normalised to the
+        fraction-0 (conventional) point of each function.
+    """
+    trajectories: dict[float, list[dict[str, float]]] = {}
+    for cf in complexity_factors:
+        accumulator = {fraction: [] for fraction in fractions}
+        for index in range(functions_per_family):
+            spec = generate_spec(
+                f"fam{cf:.2f}_{index}",
+                num_inputs,
+                num_outputs,
+                target_cf=cf,
+                dc_fraction=dc_fraction,
+                seed=seed * 1000 + int(cf * 100) * 10 + index,
+            )
+            baseline = run_flow(spec, "ranking", fraction=0.0, objective=objective)
+            if baseline.area == 0:
+                # A degenerate (wire-only) family member carries no
+                # overhead signal; skip it rather than polluting the
+                # family mean with undefined ratios.
+                continue
+            for fraction in fractions:
+                if fraction == 0.0:
+                    result = baseline
+                else:
+                    result = run_flow(
+                        spec, "ranking", fraction=fraction, objective=objective
+                    )
+                rel = relative_metrics(result, baseline)
+                accumulator[fraction].append((rel["area"], rel["error_rate"]))
+        if not any(accumulator.values()):
+            continue  # every family member was degenerate; nothing to report
+        trajectories[cf] = [
+            {
+                "fraction": fraction,
+                "area": float(np.mean([p[0] for p in points])),
+                "error_rate": float(np.mean([p[1] for p in points])),
+            }
+            for fraction, points in accumulator.items()
+        ]
+    return trajectories
+
+
+@dataclass(frozen=True)
+class Table2Row:
+    """One row of Table 2 (improvements in percent; negative = overhead)."""
+
+    benchmark: str
+    cf: float
+    lcf_area: float
+    lcf_error: float
+    ranking_area: float
+    ranking_error: float
+    complete_area: float
+    complete_error: float
+
+
+def table2_row(
+    spec: FunctionSpec,
+    *,
+    threshold: float = DEFAULT_THRESHOLD,
+    objective: str = "area",
+) -> Table2Row:
+    """Table 2: LC^f-based vs equal-fraction ranking vs complete.
+
+    The ranking fraction is tied to the fraction the LC^f policy decided,
+    exactly as the paper compares them.
+    """
+    from ..core.complexity import spec_complexity_factor
+
+    baseline = run_flow(spec, "conventional", objective=objective)
+    lcf_assignment = cfactor_assignment(spec, threshold)
+    lcf_fraction = min(1.0, lcf_assignment.fraction_of(spec))
+    lcf = run_flow(spec, "cfactor", threshold=threshold, objective=objective)
+    ranking = run_flow(spec, "ranking", fraction=lcf_fraction, objective=objective)
+    complete = run_flow(spec, "complete", objective=objective)
+    rel_lcf = relative_metrics(lcf, baseline)
+    rel_rank = relative_metrics(ranking, baseline)
+    rel_complete = relative_metrics(complete, baseline)
+    return Table2Row(
+        benchmark=spec.name,
+        cf=spec_complexity_factor(spec),
+        lcf_area=rel_lcf["area_improvement_pct"],
+        lcf_error=rel_lcf["error_improvement_pct"],
+        ranking_area=rel_rank["area_improvement_pct"],
+        ranking_error=rel_rank["error_improvement_pct"],
+        complete_area=rel_complete["area_improvement_pct"],
+        complete_error=rel_complete["error_improvement_pct"],
+    )
+
+
+@dataclass(frozen=True)
+class Table3Row:
+    """One row of Table 3: bands, achieved rates and gate count."""
+
+    benchmark: str
+    gates: int
+    exact: ErrorBounds
+    signal: ErrorBounds
+    border: ErrorBounds
+    conventional_rate: float
+    conventional_diff_pct: float
+    lcf_rate: float
+    lcf_diff_pct: float
+
+
+def table3_row(
+    spec: FunctionSpec,
+    *,
+    threshold: float = DEFAULT_THRESHOLD,
+    objective: str = "area",
+) -> Table3Row:
+    """Table 3: estimate bands plus conventional and LC^f achieved rates.
+
+    The "% Diff." columns report how far above the exact minimum each
+    implementation's rate lands, as in the paper.
+    """
+    exact = exact_error_bounds(spec)
+    conventional = run_flow(spec, "conventional", objective=objective)
+    lcf = run_flow(spec, "cfactor", threshold=threshold, objective=objective)
+
+    def diff_pct(rate: float) -> float:
+        return 100.0 * (rate - exact.lo) / exact.lo if exact.lo else 0.0
+
+    return Table3Row(
+        benchmark=spec.name,
+        gates=conventional.gates,
+        exact=exact,
+        signal=signal_probability_bounds(spec),
+        border=border_bounds(spec),
+        conventional_rate=conventional.error_rate,
+        conventional_diff_pct=diff_pct(conventional.error_rate),
+        lcf_rate=lcf.error_rate,
+        lcf_diff_pct=diff_pct(lcf.error_rate),
+    )
+
+
+def threshold_sweep(
+    spec: FunctionSpec,
+    thresholds: list[float],
+    *,
+    objective: str = "area",
+) -> list[FlowResult]:
+    """LC^f-threshold ablation: results across the threshold knob."""
+    return [
+        run_flow(spec, "cfactor", threshold=threshold, objective=objective)
+        for threshold in thresholds
+    ]

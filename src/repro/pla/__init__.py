@@ -1,0 +1,23 @@
+"""Berkeley PLA (.pla) reading and writing.
+
+The MCNC benchmarks the paper evaluates are distributed in the espresso
+``.pla`` format; this package converts between that format and
+:class:`~repro.core.spec.FunctionSpec` objects.
+"""
+
+from .blif import BlifError, network_to_blif, parse_blif, read_blif, write_blif
+from .parser import PlaError, parse_pla, read_pla
+from .writer import spec_to_pla, write_pla
+
+__all__ = [
+    "BlifError",
+    "network_to_blif",
+    "parse_blif",
+    "read_blif",
+    "write_blif",
+    "PlaError",
+    "parse_pla",
+    "read_pla",
+    "spec_to_pla",
+    "write_pla",
+]

@@ -1,0 +1,203 @@
+"""BLIF (Berkeley Logic Interchange Format) network I/O.
+
+The PLA format carries two-level specs; multi-level networks travel as
+``.blif``.  This module reads and writes the combinational subset —
+``.model``, ``.inputs``, ``.outputs`` and ``.names`` (SOP node) blocks —
+mapping directly onto :class:`~repro.synth.network.LogicNetwork`.
+
+Single-output-cover convention: each ``.names`` block lists cubes of the
+node's on-set when the output column is ``1``; blocks whose output column
+is ``0`` describe the off-set and are complemented on input (as SIS/ABC
+do).  Latches and subcircuits are not supported (the paper's scope is
+combinational).
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from ..espresso.cube import FREE, Cover
+from ..espresso.unate import complement
+from ..synth.network import LogicNetwork
+
+__all__ = ["BlifError", "parse_blif", "read_blif", "network_to_blif", "write_blif"]
+
+_CODE_OF = {"0": 0, "1": 1, "-": FREE}
+_CHAR_OF = {0: "0", 1: "1", FREE: "-"}
+
+
+class BlifError(ValueError):
+    """Raised on malformed BLIF text."""
+
+
+def parse_blif(text: str) -> LogicNetwork:
+    """Parse BLIF *text* into a :class:`LogicNetwork`.
+
+    Raises:
+        BlifError: on syntax errors, missing declarations, or unsupported
+            constructs (latches, subcircuits).
+    """
+    # Join continuation lines and strip comments.
+    logical_lines: list[str] = []
+    pending = ""
+    for raw in text.splitlines():
+        line = raw.split("#", 1)[0].rstrip()
+        if not line.strip():
+            continue
+        if line.endswith("\\"):
+            pending += line[:-1] + " "
+            continue
+        logical_lines.append((pending + line).strip())
+        pending = ""
+    if pending:
+        logical_lines.append(pending.strip())
+
+    inputs: list[str] = []
+    outputs: list[str] = []
+    names_blocks: list[tuple[list[str], list[tuple[str, str]]]] = []
+    current: tuple[list[str], list[tuple[str, str]]] | None = None
+
+    for line in logical_lines:
+        if line.startswith("."):
+            parts = line.split()
+            keyword = parts[0]
+            if keyword == ".model":
+                continue
+            if keyword == ".inputs":
+                inputs.extend(parts[1:])
+                current = None
+            elif keyword == ".outputs":
+                outputs.extend(parts[1:])
+                current = None
+            elif keyword == ".names":
+                if len(parts) < 2:
+                    raise BlifError(".names needs at least an output signal")
+                current = (parts[1:], [])
+                names_blocks.append(current)
+            elif keyword == ".end":
+                break
+            elif keyword in (".latch", ".subckt", ".gate"):
+                raise BlifError(f"unsupported construct {keyword}")
+            else:
+                raise BlifError(f"unsupported directive {keyword}")
+            continue
+        if current is None:
+            raise BlifError(f"cube line outside a .names block: {line!r}")
+        fields = line.split()
+        if len(fields) == 1:
+            # Constant node: single output column, no input plane.
+            current[1].append(("", fields[0]))
+        elif len(fields) == 2:
+            current[1].append((fields[0], fields[1]))
+        else:
+            raise BlifError(f"malformed cube line {line!r}")
+
+    if not inputs and not names_blocks:
+        raise BlifError("missing .inputs / .names declarations")
+    network = LogicNetwork(inputs)
+    # BLIF allows .names blocks in any order; insert in dependency order.
+    pending = list(names_blocks)
+    while pending:
+        progressed = False
+        deferred = []
+        for block in pending:
+            signals, _ = block
+            fanins = signals[:-1]
+            defined = set(network.primary_inputs) | set(network.nodes)
+            if all(f in defined for f in fanins):
+                _add_names_block(network, block)
+                progressed = True
+            else:
+                deferred.append(block)
+        if not progressed:
+            missing = sorted(
+                {f for signals, _ in deferred for f in signals[:-1]}
+                - set(network.primary_inputs) - set(network.nodes)
+            )
+            raise BlifError(f"undefined or cyclic signals: {missing}")
+        pending = deferred
+    for output in outputs:
+        network.set_output(output, output)
+    return network
+
+
+def _add_names_block(
+    network: LogicNetwork, block: tuple[list[str], list[tuple[str, str]]]
+) -> None:
+    signals, cube_lines = block
+    *fanins, output = signals
+    if output in network.primary_inputs:
+        raise BlifError(f".names redefines primary input {output!r}")
+    num_fanins = len(fanins)
+    on_rows: list[list[int]] = []
+    off_rows: list[list[int]] = []
+    for in_plane, out_char in cube_lines:
+        if len(in_plane) != num_fanins:
+            raise BlifError(f"node {output!r}: cube {in_plane!r} has wrong width")
+        try:
+            row = [_CODE_OF[ch] for ch in in_plane]
+        except KeyError as exc:
+            raise BlifError(f"bad cube character in {in_plane!r}") from exc
+        if out_char == "1":
+            on_rows.append(row)
+        elif out_char == "0":
+            off_rows.append(row)
+        else:
+            raise BlifError(f"bad output character {out_char!r}")
+    if on_rows and off_rows:
+        raise BlifError(f"node {output!r}: mixed on- and off-set cubes")
+    if num_fanins == 0:
+        # Constant node: represent over a dummy fanin.
+        if not network.primary_inputs:
+            raise BlifError("constant node in a network without inputs")
+        anchor = network.primary_inputs[0]
+        constant_one = bool(cube_lines) and cube_lines[0][1] == "1"
+        cover = Cover.universe(1) if constant_one else Cover.empty(1)
+        network.add_node(output, [anchor], cover)
+        return
+    if off_rows:
+        cover = complement(Cover(np.array(off_rows, dtype=np.uint8), num_fanins))
+    elif on_rows:
+        cover = Cover(np.array(on_rows, dtype=np.uint8), num_fanins)
+    else:
+        cover = Cover.empty(num_fanins)  # .names with no cubes = constant 0
+    network.add_node(output, list(fanins), cover)
+
+
+def read_blif(path: str | os.PathLike) -> LogicNetwork:
+    """Read a ``.blif`` file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return parse_blif(handle.read())
+
+
+def network_to_blif(network: LogicNetwork, *, model: str = "top") -> str:
+    """Render *network* as BLIF text.
+
+    Output signals that are primary inputs or shared node outputs get
+    buffer ``.names`` blocks so every declared output has a driver with
+    its own name.
+    """
+    lines = [f".model {model}", ".inputs " + " ".join(network.primary_inputs)]
+    lines.append(".outputs " + " ".join(network.outputs))
+    emitted_buffers: list[str] = []
+    for out_name, signal in network.outputs.items():
+        if out_name != signal:
+            emitted_buffers.append(f".names {signal} {out_name}\n1 1")
+    for name in network.topological_order():
+        node = network.nodes[name]
+        header = ".names " + " ".join(node.fanins + [name])
+        body = [
+            "".join(_CHAR_OF[int(v)] for v in row) + " 1" for row in node.cover.cubes
+        ]
+        lines.append("\n".join([header] + body) if body else header)
+    lines.extend(emitted_buffers)
+    lines.append(".end")
+    return "\n".join(lines) + "\n"
+
+
+def write_blif(network: LogicNetwork, path: str | os.PathLike, *, model: str = "top") -> None:
+    """Write *network* to a ``.blif`` file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(network_to_blif(network, model=model))

@@ -1,0 +1,54 @@
+"""Writer for the ``.pla`` format (``.type fd`` semantics).
+
+Specs are written minterm-per-line: one cube for every minterm that is in
+the on- or DC-set of at least one output.  This is not the most compact
+encoding but it is canonical, loss-free and directly diffable; compactness
+is the job of the minimiser, not the interchange format.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from ..core.spec import FunctionSpec
+from ..core.truthtable import DC, ON
+
+__all__ = ["spec_to_pla", "write_pla"]
+
+
+def _minterm_string(minterm: int, num_inputs: int) -> str:
+    return "".join("1" if (minterm >> j) & 1 else "0" for j in range(num_inputs))
+
+
+def spec_to_pla(spec: FunctionSpec) -> str:
+    """Render *spec* as ``.type fd`` PLA text."""
+    interesting = np.flatnonzero(np.any(spec.phases != 0, axis=0))
+    lines = [
+        f".i {spec.num_inputs}",
+        f".o {spec.num_outputs}",
+        ".ilb " + " ".join(spec.input_names),
+        ".ob " + " ".join(spec.output_names),
+        ".type fd",
+        f".p {len(interesting)}",
+    ]
+    for minterm in interesting:
+        out_plane = []
+        for out in range(spec.num_outputs):
+            phase = spec.phases[out, minterm]
+            if phase == ON:
+                out_plane.append("1")
+            elif phase == DC:
+                out_plane.append("-")
+            else:
+                out_plane.append("0")
+        lines.append(f"{_minterm_string(int(minterm), spec.num_inputs)} {''.join(out_plane)}")
+    lines.append(".e")
+    return "\n".join(lines) + "\n"
+
+
+def write_pla(spec: FunctionSpec, path: str | os.PathLike) -> None:
+    """Write *spec* to a ``.pla`` file at *path*."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(spec_to_pla(spec))

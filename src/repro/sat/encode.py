@@ -1,0 +1,172 @@
+"""Tseitin CNF encodings of networks and AIGs, and miter equivalence.
+
+Together with :mod:`repro.sat.solver` this is the satisfiability half of
+the simulation+SAT flexibility machinery the paper cites ([16]): circuits
+are encoded clause-by-clause, and equivalence is decided by asking whether
+any input makes two implementations differ (the classic miter query).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..espresso.cube import FREE, Cover
+from .solver import SatSolver
+
+if TYPE_CHECKING:  # imported lazily at runtime to avoid a package cycle
+    from ..synth.aig import Aig
+    from ..synth.network import LogicNetwork
+
+__all__ = ["CnfBuilder", "encode_network", "encode_aig", "networks_equivalent"]
+
+
+class CnfBuilder:
+    """Incrementally builds a CNF over named signals."""
+
+    def __init__(self) -> None:
+        self.solver = SatSolver()
+        self.variable_of: dict[str, int] = {}
+
+    def var(self, name: str) -> int:
+        """The CNF variable of signal *name* (allocated on first use)."""
+        existing = self.variable_of.get(name)
+        if existing is not None:
+            return existing
+        variable = self.solver.new_var()
+        self.variable_of[name] = variable
+        return variable
+
+    def add_clause(self, literals) -> None:
+        """Forward to the underlying solver."""
+        self.solver.add_clause(literals)
+
+    def constrain_constant(self, name: str, value: bool) -> None:
+        """Force a signal to a constant."""
+        variable = self.var(name)
+        self.add_clause([variable if value else -variable])
+
+    def encode_sop(self, output: str, fanins: list[str], cover: Cover) -> None:
+        """Tseitin-encode ``output = cover(fanins)``.
+
+        Each cube gets an auxiliary variable ``t``: ``t <-> AND(literals)``;
+        the output is the OR of the cube variables.  Constant covers
+        constrain the output directly.
+        """
+        out_var = self.var(output)
+        if cover.num_cubes == 0:
+            self.add_clause([-out_var])
+            return
+        cube_vars = []
+        for row in cover.cubes:
+            literals = [
+                self.var(fanins[j]) if row[j] == 1 else -self.var(fanins[j])
+                for j in range(cover.num_inputs)
+                if row[j] != FREE
+            ]
+            if not literals:  # universe cube: output is constant 1
+                self.add_clause([out_var])
+                return
+            cube_var = self.solver.new_var()
+            for literal in literals:
+                self.add_clause([-cube_var, literal])
+            self.add_clause([cube_var] + [-l for l in literals])
+            cube_vars.append(cube_var)
+        for cube_var in cube_vars:
+            self.add_clause([-cube_var, out_var])
+        self.add_clause([-out_var] + cube_vars)
+
+    def encode_xor(self, out: int, a: int, b: int) -> None:
+        """``out <-> a XOR b`` over raw CNF variables."""
+        self.add_clause([-out, a, b])
+        self.add_clause([-out, -a, -b])
+        self.add_clause([out, -a, b])
+        self.add_clause([out, a, -b])
+
+
+def encode_network(builder: CnfBuilder, network: LogicNetwork, prefix: str = "") -> None:
+    """Encode every node of *network*; signal ``s`` maps to ``prefix+s``.
+
+    Primary inputs are encoded *without* the prefix so two prefixed
+    networks automatically share their inputs (the miter construction).
+    """
+    def name_of(signal: str) -> str:
+        return signal if signal in network.primary_inputs else prefix + signal
+
+    for node_name in network.topological_order():
+        node = network.nodes[node_name]
+        builder.encode_sop(
+            name_of(node_name), [name_of(f) for f in node.fanins], node.cover
+        )
+
+
+def encode_aig(builder: CnfBuilder, aig: Aig, prefix: str = "") -> dict[str, int]:
+    """Encode an AIG; returns the CNF literal of every output.
+
+    Output values are returned as *variables whose truth equals the output*
+    (an extra variable is introduced for complemented outputs).
+    """
+    node_var: dict[int, int] = {}
+    zero = builder.var(prefix + "__const0")
+    builder.add_clause([-zero])
+    node_var[0] = zero
+    for index, name in enumerate(aig.pi_names):
+        node_var[index + 1] = builder.var(name)
+
+    def literal(lit: int) -> int:
+        variable = node_var[aig.lit_node(lit)]
+        return -variable if aig.lit_phase(lit) else variable
+
+    for node in sorted(aig.fanins):
+        a, b = aig.fanins[node]
+        out = builder.var(f"{prefix}__and{node}")
+        node_var[node] = out
+        builder.add_clause([-out, literal(a)])
+        builder.add_clause([-out, literal(b)])
+        builder.add_clause([out, -literal(a), -literal(b)])
+
+    outputs: dict[str, int] = {}
+    for out_name, lit in aig.outputs.items():
+        raw = literal(lit)
+        if raw > 0:
+            outputs[out_name] = raw
+        else:
+            # Alias variable for a complemented output: alias <-> not(v).
+            alias = builder.var(prefix + "__out_" + out_name)
+            builder.add_clause([alias, -raw])
+            builder.add_clause([-alias, raw])
+            outputs[out_name] = alias
+    return outputs
+
+
+def networks_equivalent(left: LogicNetwork, right: LogicNetwork) -> bool:
+    """SAT-based combinational equivalence check (miter construction).
+
+    Both networks must have the same primary inputs and output names.
+
+    Raises:
+        ValueError: on interface mismatches.
+    """
+    if left.primary_inputs != right.primary_inputs:
+        raise ValueError("primary input lists differ")
+    if set(left.outputs) != set(right.outputs):
+        raise ValueError("output name sets differ")
+    builder = CnfBuilder()
+    encode_network(builder, left, prefix="L_")
+    encode_network(builder, right, prefix="R_")
+
+    def signal_var(network: LogicNetwork, prefix: str, out_name: str) -> int:
+        signal = network.outputs[out_name]
+        if signal in network.primary_inputs:
+            return builder.var(signal)
+        return builder.var(prefix + signal)
+
+    difference_vars = []
+    for out_name in left.outputs:
+        left_var = signal_var(left, "L_", out_name)
+        right_var = signal_var(right, "R_", out_name)
+        diff = builder.solver.new_var()
+        builder.encode_xor(diff, left_var, right_var)
+        difference_vars.append(diff)
+    builder.add_clause(difference_vars)  # some output differs
+    sat, _ = builder.solver.solve()
+    return not sat

@@ -1,0 +1,225 @@
+"""A compact CNF SAT solver (DPLL with two-watched-literal propagation).
+
+Reference [16] of the paper computes network flexibilities with
+simulation + satisfiability; this module supplies the satisfiability half
+of that substrate: a dependency-free solver adequate for the miter-style
+equivalence and ODC queries that arise at this project's scale.
+
+Literal convention (DIMACS): variables are positive integers; a negative
+integer is the complemented literal.  Clauses are lists of literals.
+
+The solver implements:
+
+* two-watched-literal unit propagation,
+* conflict-driven backtracking with simple clause learning
+  (first-unique-implication-point resolution),
+* VSIDS-lite decision ordering (bump-on-conflict activity).
+"""
+
+from __future__ import annotations
+
+__all__ = ["SatSolver", "Satisfiable", "Unsatisfiable"]
+
+Satisfiable = True
+Unsatisfiable = False
+
+
+class SatSolver:
+    """An incremental CNF solver."""
+
+    def __init__(self) -> None:
+        self.num_vars = 0
+        self.clauses: list[list[int]] = []
+        self._units: list[int] = []
+        self._watches: dict[int, list[int]] = {}
+        self._activity: dict[int, float] = {}
+
+    # ---------------------------------------------------------------- input
+
+    def new_var(self) -> int:
+        """Allocate and return a fresh variable."""
+        self.num_vars += 1
+        return self.num_vars
+
+    def add_clause(self, literals) -> None:
+        """Add a clause (a non-empty iterable of non-zero ints).
+
+        Raises:
+            ValueError: on empty clauses or zero literals.
+        """
+        clause = list(dict.fromkeys(int(l) for l in literals))
+        if not clause:
+            raise ValueError("empty clause (formula is trivially UNSAT)")
+        if any(l == 0 for l in clause):
+            raise ValueError("literal 0 is not allowed")
+        for literal in clause:
+            self.num_vars = max(self.num_vars, abs(literal))
+        if any(-l in clause for l in clause):
+            return  # tautological clause
+        if len(clause) == 1:
+            self._units.append(clause[0])
+            return
+        index = len(self.clauses)
+        self.clauses.append(clause)
+        for literal in clause[:2]:
+            self._watches.setdefault(literal, []).append(index)
+
+    # --------------------------------------------------------------- solving
+
+    def solve(self, assumptions=()) -> tuple[bool, dict[int, bool]]:
+        """Decide satisfiability.
+
+        Args:
+            assumptions: literals forced true for this call.
+
+        Returns:
+            ``(True, model)`` with a full assignment, or ``(False, {})``.
+        """
+        assign: dict[int, bool] = {}
+        trail: list[tuple[int, int | None]] = []  # (literal, reason clause)
+        level_of: dict[int, int] = {}
+        decisions: list[int] = []  # trail indices at each decision level
+
+        def value(literal: int) -> bool | None:
+            polarity = assign.get(abs(literal))
+            if polarity is None:
+                return None
+            return polarity if literal > 0 else not polarity
+
+        def enqueue(literal: int, reason: int | None) -> bool:
+            current = value(literal)
+            if current is not None:
+                return current
+            assign[abs(literal)] = literal > 0
+            level_of[abs(literal)] = len(decisions)
+            trail.append((literal, reason))
+            return True
+
+        def propagate() -> int | None:
+            """Run unit propagation; return a conflicting clause index."""
+            head = 0
+            while head < len(trail):
+                literal, _ = trail[head]
+                head += 1
+                falsified = -literal
+                watchers = self._watches.get(falsified, [])
+                index = 0
+                while index < len(watchers):
+                    clause_index = watchers[index]
+                    clause = self.clauses[clause_index]
+                    # Ensure the falsified literal sits at position 1.
+                    if clause[0] == falsified:
+                        clause[0], clause[1] = clause[1], clause[0]
+                    other = clause[0]
+                    if value(other) is True:
+                        index += 1
+                        continue
+                    # Look for a replacement watch.
+                    moved = False
+                    for pos in range(2, len(clause)):
+                        if value(clause[pos]) is not False:
+                            clause[1], clause[pos] = clause[pos], clause[1]
+                            self._watches.setdefault(clause[1], []).append(
+                                clause_index
+                            )
+                            watchers[index] = watchers[-1]
+                            watchers.pop()
+                            moved = True
+                            break
+                    if moved:
+                        continue
+                    if value(other) is False:
+                        return clause_index  # conflict
+                    enqueue(other, clause_index)
+                    index += 1
+            return None
+
+        def analyze(conflict_index: int) -> tuple[list[int], int]:
+            """1-UIP conflict analysis -> (learned clause, backjump level)."""
+            current_level = len(decisions)
+            seen: set[int] = set()
+            learned: list[int] = []
+            counter = 0
+            clause = list(self.clauses[conflict_index])
+            cursor = len(trail) - 1
+            uip_literal = 0
+            while True:
+                for literal in clause:
+                    variable = abs(literal)
+                    if variable in seen or value(literal) is not False:
+                        continue
+                    seen.add(variable)
+                    self._activity[variable] = self._activity.get(variable, 0.0) + 1.0
+                    if level_of.get(variable, 0) >= current_level:
+                        counter += 1
+                    elif level_of.get(variable, 0) > 0:
+                        learned.append(literal)
+                while cursor >= 0:
+                    trail_literal, reason = trail[cursor]
+                    if abs(trail_literal) in seen:
+                        break
+                    cursor -= 1
+                trail_literal, reason = trail[cursor]
+                cursor -= 1
+                counter -= 1
+                if counter == 0:
+                    uip_literal = -trail_literal
+                    break
+                clause = list(self.clauses[reason]) if reason is not None else []
+            learned.append(uip_literal)
+            if len(learned) == 1:
+                return learned, 0
+            back_level = max(
+                level_of.get(abs(l), 0) for l in learned if l != uip_literal
+            )
+            return learned, back_level
+
+        def backtrack(level: int) -> None:
+            while decisions and len(decisions) > level:
+                mark = decisions.pop()
+                while len(trail) > mark:
+                    literal, _ = trail.pop()
+                    del assign[abs(literal)]
+                    del level_of[abs(literal)]
+
+        for literal in list(self._units) + [int(l) for l in assumptions]:
+            if not enqueue(int(literal), None):
+                return Unsatisfiable, {}
+        if propagate() is not None:
+            return Unsatisfiable, {}
+
+        while True:
+            if len(assign) == self.num_vars:
+                model = {v: assign.get(v, False) for v in range(1, self.num_vars + 1)}
+                return Satisfiable, model
+            # Decide: highest-activity unassigned variable.
+            decision = 0
+            best = -1.0
+            for variable in range(1, self.num_vars + 1):
+                if variable not in assign:
+                    activity = self._activity.get(variable, 0.0)
+                    if activity > best:
+                        best = activity
+                        decision = variable
+            decisions.append(len(trail))
+            enqueue(decision, None)
+            while True:
+                conflict = propagate()
+                if conflict is None:
+                    break
+                if not decisions:
+                    return Unsatisfiable, {}
+                learned, back_level = analyze(conflict)
+                backtrack(back_level)
+                if len(learned) == 1:
+                    if not enqueue(learned[0], None):
+                        return Unsatisfiable, {}
+                else:
+                    index = len(self.clauses)
+                    # Watch the asserting literal and one from back_level.
+                    asserting = learned[-1]
+                    learned.sort(key=lambda l: l != asserting)
+                    self.clauses.append(learned)
+                    for literal in learned[:2]:
+                        self._watches.setdefault(literal, []).append(index)
+                    enqueue(asserting, index)

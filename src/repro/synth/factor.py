@@ -1,0 +1,149 @@
+"""Algebraic factoring of SOP expressions into factored-form trees.
+
+``good_factor`` implements the classic QUICK_FACTOR/GOOD_FACTOR recursion:
+pick a divisor (the best kernel, falling back to the most frequent
+literal), divide, and recurse on quotient, divisor and remainder.  The
+resulting :class:`Expr` trees feed the subject-graph construction of the
+technology mapper, and their literal counts are the technology-independent
+area estimate used during multi-level optimisation.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from .kernels import (
+    CubeSet,
+    algebraic_divide,
+    common_cube,
+    cube_set_literals,
+    kernels,
+)
+
+__all__ = ["Expr", "Lit", "And", "Or", "good_factor", "expr_literals"]
+
+
+@dataclass(frozen=True)
+class Expr:
+    """Base class of factored-form nodes."""
+
+
+@dataclass(frozen=True)
+class Lit(Expr):
+    """A literal leaf: *signal* with *polarity* (True = uncomplemented)."""
+
+    signal: str
+    polarity: bool
+
+    def __str__(self) -> str:
+        return self.signal if self.polarity else f"{self.signal}'"
+
+
+@dataclass(frozen=True)
+class And(Expr):
+    """Conjunction of sub-expressions."""
+
+    children: tuple[Expr, ...]
+
+    def __str__(self) -> str:
+        parts = [
+            f"({child})" if isinstance(child, Or) else str(child)
+            for child in self.children
+        ]
+        return " ".join(parts)
+
+
+@dataclass(frozen=True)
+class Or(Expr):
+    """Disjunction of sub-expressions."""
+
+    children: tuple[Expr, ...]
+
+    def __str__(self) -> str:
+        return " + ".join(str(child) for child in self.children)
+
+
+def expr_literals(expr: Expr) -> int:
+    """Number of literal leaves in a factored form."""
+    if isinstance(expr, Lit):
+        return 1
+    assert isinstance(expr, (And, Or))
+    return sum(expr_literals(child) for child in expr.children)
+
+
+def _flatten(kind: type, children: list[Expr]) -> Expr:
+    merged: list[Expr] = []
+    for child in children:
+        if isinstance(child, kind):
+            merged.extend(child.children)  # type: ignore[attr-defined]
+        else:
+            merged.append(child)
+    if len(merged) == 1:
+        return merged[0]
+    return kind(tuple(merged))  # type: ignore[call-arg]
+
+
+def _cube_expr(cube: frozenset) -> Expr:
+    literals = [Lit(name, polarity) for name, polarity in sorted(cube)]
+    if not literals:
+        raise ValueError("cannot factor an expression containing the empty cube")
+    if len(literals) == 1:
+        return literals[0]
+    return And(tuple(literals))
+
+
+def _best_divisor(expr: CubeSet) -> CubeSet | None:
+    """The kernel maximising (cubes - 1) * (literals - 1), or None."""
+    candidates = kernels(expr, include_self=False)
+    best: CubeSet | None = None
+    best_value = 0
+    for kernel in candidates:
+        value = (len(kernel) - 1) * (cube_set_literals(kernel) - 1)
+        if value > best_value:
+            best, best_value = kernel, value
+    return best
+
+
+def good_factor(expr: CubeSet) -> Expr:
+    """Factor an algebraic expression into a (near-)minimal-literal tree.
+
+    The empty expression (constant 0) and the expression containing the
+    empty cube (constant 1) cannot be represented as factored forms and
+    are rejected — callers handle constants separately.
+
+    Raises:
+        ValueError: on constant expressions.
+    """
+    if not expr:
+        raise ValueError("cannot factor the constant-0 expression")
+    if frozenset() in expr:
+        raise ValueError("cannot factor an expression absorbed to constant 1")
+    if len(expr) == 1:
+        return _cube_expr(next(iter(expr)))
+
+    shared = common_cube(expr)
+    if shared:
+        rest = frozenset(cube - shared for cube in expr)
+        if frozenset() in rest:
+            # f = shared * (1 + ...) -> algebraically just handle as SOP of
+            # the original cubes (rare; caused by single-cube absorption).
+            return _flatten(Or, [_cube_expr(cube) for cube in sorted(expr, key=sorted)])
+        return _flatten(And, [_cube_expr(shared), good_factor(rest)])
+
+    divisor = _best_divisor(expr)
+    if divisor is None:
+        # No kernel with value: fall back to the most frequent literal.
+        counts = Counter(literal for cube in expr for literal in cube)
+        literal, count = max(counts.items(), key=lambda item: (item[1], item[0]))
+        if count < 2:
+            return _flatten(Or, [_cube_expr(cube) for cube in sorted(expr, key=sorted)])
+        divisor = frozenset({frozenset({literal})})
+
+    quotient, remainder = algebraic_divide(expr, divisor)
+    if not quotient or frozenset() in quotient or frozenset() in remainder:
+        return _flatten(Or, [_cube_expr(cube) for cube in sorted(expr, key=sorted)])
+    product = _flatten(And, [good_factor(divisor), good_factor(quotient)])
+    if not remainder:
+        return product
+    return _flatten(Or, [product, good_factor(remainder)])

@@ -1,0 +1,166 @@
+"""Simulation + SAT flexibility extraction (the paper's ref. [16] approach).
+
+:mod:`repro.synth.odc` computes node flexibilities exhaustively over the
+primary-input space — exact, but limited to ~20 inputs.  This module
+implements the scalable alternative the paper cites (Mishchenko et al.,
+"Using simulation and satisfiability to compute flexibilities in Boolean
+networks"): random simulation proposes don't-care candidates, and SAT
+queries confirm them exactly:
+
+* a fanin pattern never observed under simulation is an **SDC candidate**;
+  a SAT query for "some PI vector produces this pattern" refutes or
+  confirms it;
+* a pattern whose observed vectors never propagated a node flip is an
+  **ODC candidate**; a miter query ("some PI vector produces the pattern
+  *and* flipping the node changes a PO") decides it exactly.
+
+The result is the same local :class:`~repro.core.spec.FunctionSpec` that
+the exhaustive path produces, computed without ever enumerating ``2^n``
+vectors.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.spec import FunctionSpec
+from ..core.truthtable import DC, OFF, ON
+from ..sat.encode import CnfBuilder, encode_network
+from .network import LogicNetwork
+
+__all__ = ["node_flexibility_sat"]
+
+
+def _encode_flip_copy(
+    builder: CnfBuilder, network: LogicNetwork, node_name: str
+) -> None:
+    """Encode a second copy of the fanout cone of *node_name* with the
+    node's value complemented (prefix ``F_``); PIs and cone-external
+    signals are shared with the primary (``N_``-prefixed) encoding."""
+    fanouts = network.fanouts()
+    cone: set[str] = set()
+    stack = [node_name]
+    while stack:
+        current = stack.pop()
+        for reader in fanouts.get(current, []):
+            if reader not in cone:
+                cone.add(reader)
+                stack.append(reader)
+
+    def primary_name(signal: str) -> str:
+        return signal if signal in network.primary_inputs else "N_" + signal
+
+    def flipped_name(signal: str) -> str:
+        if signal == node_name or signal in cone:
+            return "F_" + signal
+        return primary_name(signal)
+
+    # The flipped node value: F_node <-> not N_node.
+    original = builder.var("N_" + node_name)
+    flipped = builder.var("F_" + node_name)
+    builder.add_clause([original, flipped])
+    builder.add_clause([-original, -flipped])
+    for name in network.topological_order():
+        if name not in cone:
+            continue
+        node = network.nodes[name]
+        builder.encode_sop(
+            flipped_name(name), [flipped_name(f) for f in node.fanins], node.cover
+        )
+
+
+def node_flexibility_sat(
+    network: LogicNetwork,
+    node_name: str,
+    *,
+    simulation_vectors: int = 256,
+    rng: np.random.Generator | None = None,
+) -> FunctionSpec:
+    """The node's local flexibility, computed by simulation + SAT.
+
+    Produces the same single-output spec over the node's fanins as
+    :func:`repro.synth.odc.node_flexibility` (without external DCs), but
+    scales to networks whose primary-input space cannot be enumerated.
+
+    Args:
+        network: the network.
+        node_name: node to analyse (must have few enough fanins that its
+            ``2^k`` local pattern space is enumerable).
+        simulation_vectors: random vectors used to pre-classify patterns.
+        rng: random generator for the simulation phase.
+
+    Raises:
+        KeyError: for unknown node names.
+    """
+    node = network.nodes[node_name]
+    k = len(node.fanins)
+    rng = rng or np.random.default_rng(0)
+
+    # --- Simulation phase: observe patterns and flip-propagation.
+    num_pis = len(network.primary_inputs)
+    vectors = rng.random((simulation_vectors, num_pis)) < 0.5
+    values = network.evaluate_vectors(vectors)
+    pattern = np.zeros(simulation_vectors, dtype=np.int64)
+    for position, fanin in enumerate(node.fanins):
+        pattern |= values[fanin].astype(np.int64) << position
+    observed = np.zeros(1 << k, dtype=bool)
+    np.logical_or.at(observed, pattern, True)
+
+    # --- SAT phase: one base encoding, assumptions per pattern query.
+    builder = CnfBuilder()
+    encode_network(builder, network, prefix="N_")
+    _encode_flip_copy(builder, network, node_name)
+
+    def signal_var(signal: str, prefix: str) -> int:
+        if signal in network.primary_inputs:
+            return builder.var(signal)
+        return builder.var(prefix + signal)
+
+    # Difference indicator over the primary outputs.
+    fanouts = network.fanouts()
+    cone: set[str] = {node_name}
+    stack = [node_name]
+    while stack:
+        current = stack.pop()
+        for reader in fanouts.get(current, []):
+            if reader not in cone:
+                cone.add(reader)
+                stack.append(reader)
+    difference_vars = []
+    for out_name, signal in network.outputs.items():
+        if signal not in cone:
+            continue  # this PO cannot change; skip
+        left = signal_var(signal, "N_")
+        right = builder.var("F_" + signal)
+        diff = builder.solver.new_var()
+        builder.encode_xor(diff, left, right)
+        difference_vars.append(diff)
+    any_diff = builder.solver.new_var()
+    for diff in difference_vars:
+        builder.add_clause([-diff, any_diff])
+    builder.add_clause([-any_diff] + difference_vars if difference_vars else [-any_diff])
+
+    local_table = node.cover.evaluate()
+    phases = np.full(1 << k, DC, dtype=np.uint8)
+    for local_pattern in range(1 << k):
+        pattern_assumptions = []
+        for position, fanin in enumerate(node.fanins):
+            variable = signal_var(fanin, "N_")
+            bit = (local_pattern >> position) & 1
+            pattern_assumptions.append(variable if bit else -variable)
+        if not observed[local_pattern]:
+            # SDC candidate: is the pattern reachable at all?
+            reachable, _ = builder.solver.solve(pattern_assumptions)
+            if not reachable:
+                continue  # confirmed SDC
+        # Reachable: is the node observable under this pattern?
+        observable, _ = builder.solver.solve(pattern_assumptions + [any_diff])
+        if not observable:
+            continue  # confirmed ODC
+        phases[local_pattern] = ON if local_table[local_pattern] else OFF
+    return FunctionSpec(
+        phases[None, :],
+        name=f"{node_name}/local-sat",
+        input_names=tuple(node.fanins),
+        output_names=(node_name,),
+    )

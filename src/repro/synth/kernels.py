@@ -1,0 +1,160 @@
+"""Algebraic division and kernel extraction (MIS-style).
+
+The algebraic model treats a literal (signal, polarity) as an opaque symbol:
+an expression is a set of cubes, a cube a set of literals, and
+multiplication is cube union without Boolean simplification.  Kernels — the
+cube-free quotients of an expression by cube divisors — are the classic
+source of good multi-level divisors; :func:`kernels` enumerates them and
+:func:`algebraic_divide` performs weak division.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from ..espresso.cube import FREE, V0, V1, Cover
+
+__all__ = [
+    "Literal",
+    "CubeSet",
+    "cover_to_cubes",
+    "cubes_to_cover",
+    "algebraic_divide",
+    "common_cube",
+    "make_cube_free",
+    "kernels",
+    "cube_set_literals",
+]
+
+Literal = tuple[str, bool]
+"""An algebraic literal: (signal name, polarity) — True for uncomplemented."""
+
+CubeSet = frozenset  # of frozenset[Literal]
+"""An algebraic expression: a frozenset of cubes (frozensets of literals)."""
+
+
+def cover_to_cubes(cover: Cover, fanins: list[str]) -> CubeSet:
+    """Convert a positional cover over *fanins* into an algebraic cube set."""
+    cubes = set()
+    for row in cover.cubes:
+        literals = frozenset(
+            (fanins[j], bool(row[j] == V1))
+            for j in range(cover.num_inputs)
+            if row[j] != FREE
+        )
+        cubes.add(literals)
+    return frozenset(cubes)
+
+
+def cubes_to_cover(cubes: CubeSet, fanins: list[str]) -> Cover:
+    """Convert an algebraic cube set back to a positional cover.
+
+    Raises:
+        ValueError: if a cube mentions a signal not in *fanins*, or binds
+            both polarities of a signal (an algebraically null cube).
+    """
+    position = {name: j for j, name in enumerate(fanins)}
+    import numpy as np
+
+    rows = np.full((len(cubes), len(fanins)), FREE, dtype=np.uint8)
+    for i, cube in enumerate(sorted(cubes, key=sorted)):
+        for name, polarity in cube:
+            if name not in position:
+                raise ValueError(f"cube literal {name!r} not among fanins")
+            j = position[name]
+            code = V1 if polarity else V0
+            if rows[i, j] != FREE and rows[i, j] != code:
+                raise ValueError(f"cube binds both polarities of {name!r}")
+            rows[i, j] = code
+    return Cover(rows, len(fanins))
+
+
+def cube_set_literals(cubes: CubeSet) -> int:
+    """Total literal count of the expression."""
+    return sum(len(cube) for cube in cubes)
+
+
+def algebraic_divide(expr: CubeSet, divisor: CubeSet) -> tuple[CubeSet, CubeSet]:
+    """Weak division: ``expr = quotient * divisor + remainder``.
+
+    Returns:
+        ``(quotient, remainder)`` with an empty quotient when the divisor
+        does not divide the expression.
+    """
+    if not divisor:
+        return frozenset(), expr
+    quotient: set[frozenset] | None = None
+    for d_cube in divisor:
+        partials = {cube - d_cube for cube in expr if d_cube <= cube}
+        if quotient is None:
+            quotient = partials
+        else:
+            quotient &= partials
+        if not quotient:
+            return frozenset(), expr
+    assert quotient is not None
+    product = {q_cube | d_cube for q_cube in quotient for d_cube in divisor}
+    remainder = frozenset(cube for cube in expr if cube not in product)
+    return frozenset(quotient), remainder
+
+
+def common_cube(cubes: CubeSet) -> frozenset:
+    """The largest cube dividing every cube of the expression."""
+    iterator = iter(cubes)
+    try:
+        result = set(next(iterator))
+    except StopIteration:
+        return frozenset()
+    for cube in iterator:
+        result &= cube
+    return frozenset(result)
+
+
+def make_cube_free(cubes: CubeSet) -> CubeSet:
+    """Divide out the common cube, making the expression cube-free."""
+    shared = common_cube(cubes)
+    if not shared:
+        return cubes
+    return frozenset(cube - shared for cube in cubes)
+
+
+def kernels(
+    expr: CubeSet, *, include_self: bool = True, max_kernels: int = 200
+) -> set[CubeSet]:
+    """Kernels of the expression (cube-free quotients by cube divisors).
+
+    Args:
+        expr: the algebraic expression.
+        include_self: also report the expression itself when it is
+            cube-free with more than one cube (the top-level kernel).
+        max_kernels: enumeration cap — kernel counts can grow explosively
+            on large SOPs, and the greedy extractor only needs a rich
+            sample, not the complete set.
+
+    Returns:
+        A set of cube sets, each a kernel with at least two cubes.
+    """
+    found: set[CubeSet] = set()
+
+    def recurse(current: CubeSet, minimum_literal: tuple) -> None:
+        if len(found) >= max_kernels:
+            return
+        counts = Counter(literal for cube in current for literal in cube)
+        for literal, count in sorted(counts.items()):
+            if count < 2 or literal < minimum_literal:
+                continue
+            quotient = frozenset(cube - {literal} for cube in current if literal in cube)
+            kernel = make_cube_free(quotient)
+            # A kernel containing the empty cube stems from single-cube
+            # absorption (f = a + ab); it is not a usable divisor.
+            if len(kernel) >= 2 and frozenset() not in kernel and kernel not in found:
+                found.add(kernel)
+                recurse(kernel, literal)
+            if len(found) >= max_kernels:
+                return
+
+    recurse(expr, ("", False))
+    free = make_cube_free(expr)
+    if include_self and len(free) >= 2:
+        found.add(free)
+    return found

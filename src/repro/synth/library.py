@@ -1,0 +1,196 @@
+"""A generic 70 nm-flavoured standard-cell library.
+
+The paper maps to a commercial 70 nm library through Synopsys Design
+Compiler; absolute cell data is irrelevant to its claims (everything is
+reported normalised), so this module defines a self-consistent generic
+library in abstract units:
+
+* ``area`` — layout area units,
+* ``pin_cap`` — input pin capacitance (load units),
+* ``resistance`` — output drive resistance: delay = intrinsic + R * load,
+* ``intrinsic`` — pin-to-pin intrinsic delay,
+* ``leakage`` — static power units.
+
+Each cell carries a *pattern tree* over the NAND2/INV subject basis used by
+the tree-covering mapper, and a dense truth table over its pins used for
+netlist evaluation and switching-activity power analysis.  High-drive
+(``_X2``) variants trade area and input capacitance for drive resistance;
+the delay optimiser exploits them.
+
+Pattern grammar (nested tuples)::
+
+    ("var", "a")          leaf — binds a subject-graph signal
+    ("inv", P)            inverter over sub-pattern P
+    ("nand", P, Q)        2-input NAND (matched commutatively)
+
+Repeated leaf names (as in the XOR cells) must bind the same subject
+signal, i.e. patterns may be leaf-DAGs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["Cell", "Library", "generic_70nm_library", "pattern_leaves"]
+
+Pattern = tuple
+"""A pattern-tree node (see module docstring for the grammar)."""
+
+
+def pattern_leaves(pattern: Pattern) -> list[str]:
+    """Distinct leaf names of a pattern, in first-appearance order."""
+    order: list[str] = []
+
+    def walk(node: Pattern) -> None:
+        kind = node[0]
+        if kind == "var":
+            if node[1] not in order:
+                order.append(node[1])
+        elif kind == "inv":
+            walk(node[1])
+        elif kind == "nand":
+            walk(node[1])
+            walk(node[2])
+        else:
+            raise ValueError(f"bad pattern node {node!r}")
+
+    walk(pattern)
+    return order
+
+
+def _pattern_table(pattern: Pattern, pins: list[str]) -> np.ndarray:
+    """Dense truth table of the pattern over *pins* (pin 0 = bit 0)."""
+    size = 1 << len(pins)
+    idx = np.arange(size)
+    values: dict[str, np.ndarray] = {
+        pin: ((idx >> position) & 1).astype(bool) for position, pin in enumerate(pins)
+    }
+
+    def walk(node: Pattern) -> np.ndarray:
+        kind = node[0]
+        if kind == "var":
+            return values[node[1]]
+        if kind == "inv":
+            return ~walk(node[1])
+        return ~(walk(node[1]) & walk(node[2]))
+
+    return walk(pattern)
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One library cell.
+
+    Attributes:
+        name: cell name, e.g. ``NAND2_X1``.
+        pattern: subject-basis pattern tree the mapper matches.
+        area / pin_cap / resistance / intrinsic / leakage: see module doc.
+        pins: ordered pin names (derived from the pattern).
+        table: output truth table over the pins (derived).
+    """
+
+    name: str
+    pattern: Pattern
+    area: float
+    pin_cap: float
+    resistance: float
+    intrinsic: float
+    leakage: float
+    pins: tuple[str, ...] = field(default=())
+    table: np.ndarray = field(default=None, repr=False, compare=False)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        pins = tuple(pattern_leaves(self.pattern))
+        object.__setattr__(self, "pins", pins)
+        table = _pattern_table(self.pattern, list(pins))
+        table.setflags(write=False)
+        object.__setattr__(self, "table", table)
+
+    @property
+    def num_pins(self) -> int:
+        """Number of input pins."""
+        return len(self.pins)
+
+    def evaluate(self, pin_values: list[np.ndarray]) -> np.ndarray:
+        """Output value arrays given one boolean array per pin."""
+        if len(pin_values) != self.num_pins:
+            raise ValueError(f"{self.name}: expected {self.num_pins} pin arrays")
+        pattern_index = np.zeros(pin_values[0].shape, dtype=np.int64)
+        for position, values in enumerate(pin_values):
+            pattern_index |= values.astype(np.int64) << position
+        return self.table[pattern_index]
+
+
+@dataclass(frozen=True)
+class Library:
+    """An immutable collection of cells plus global electrical constants.
+
+    Attributes:
+        cells: the mappable cells.
+        wire_cap: added load per fanout connection.
+        input_drive: drive resistance modelling the source of every PI.
+        output_cap: load modelling every PO pin.
+    """
+
+    cells: tuple[Cell, ...]
+    wire_cap: float = 0.2
+    input_drive: float = 0.8
+    output_cap: float = 1.0
+
+    def cell(self, name: str) -> Cell:
+        """Look up a cell by name.
+
+        Raises:
+            KeyError: for unknown cell names.
+        """
+        for cell in self.cells:
+            if cell.name == name:
+                return cell
+        raise KeyError(f"no cell named {name!r}")
+
+    def variants_of(self, cell: Cell) -> list[Cell]:
+        """All drive variants sharing *cell*'s logical function."""
+        stem = cell.name.rsplit("_", 1)[0]
+        return [c for c in self.cells if c.name.rsplit("_", 1)[0] == stem]
+
+
+def generic_70nm_library() -> Library:
+    """The default library: 10 functions, X1 drive plus X2 for INV/NAND2.
+
+    Values are loosely modelled on published 65/70 nm educational libraries
+    (NangateOpenCell-style ratios): complex cells are cheaper than their
+    discrete decompositions, NORs are slower than NANDs (PMOS stacking),
+    and X2 variants halve drive resistance for ~50 % more area and double
+    pin capacitance.
+    """
+    a, b, c = ("var", "a"), ("var", "b"), ("var", "c")
+    nand_ab = ("nand", a, b)
+    cells = (
+        Cell("INV_X1", ("inv", a), area=1.0, pin_cap=1.0, resistance=1.0, intrinsic=0.8, leakage=1.0),
+        Cell("INV_X2", ("inv", a), area=1.5, pin_cap=2.0, resistance=0.5, intrinsic=0.8, leakage=2.1),
+        Cell("NAND2_X1", nand_ab, area=1.4, pin_cap=1.1, resistance=1.1, intrinsic=1.0, leakage=1.6),
+        Cell("NAND2_X2", nand_ab, area=2.1, pin_cap=2.2, resistance=0.55, intrinsic=1.0, leakage=3.3),
+        Cell("NOR2_X1", ("inv", ("nand", ("inv", a), ("inv", b))), area=1.4, pin_cap=1.2, resistance=1.3, intrinsic=1.3, leakage=1.7),
+        Cell("NOR2_X2", ("inv", ("nand", ("inv", a), ("inv", b))), area=2.1, pin_cap=2.4, resistance=0.65, intrinsic=1.3, leakage=3.5),
+        Cell("AND2_X1", ("inv", nand_ab), area=1.8, pin_cap=1.0, resistance=1.0, intrinsic=1.6, leakage=1.9),
+        Cell("AND2_X2", ("inv", nand_ab), area=2.7, pin_cap=2.0, resistance=0.5, intrinsic=1.6, leakage=3.9),
+        Cell("OR2_X1", ("nand", ("inv", a), ("inv", b)), area=1.8, pin_cap=1.0, resistance=1.0, intrinsic=1.7, leakage=2.0),
+        Cell("OR2_X2", ("nand", ("inv", a), ("inv", b)), area=2.7, pin_cap=2.0, resistance=0.5, intrinsic=1.7, leakage=4.1),
+        Cell("NAND3_X1", ("nand", a, ("inv", ("nand", b, c))), area=1.9, pin_cap=1.2, resistance=1.2, intrinsic=1.3, leakage=2.2),
+        Cell("NOR3_X1", ("inv", ("nand", ("inv", ("nand", ("inv", a), ("inv", b))), ("inv", c))), area=2.0, pin_cap=1.3, resistance=1.5, intrinsic=1.9, leakage=2.3),
+        Cell("AOI21_X1", ("inv", ("nand", nand_ab, ("inv", c))), area=2.0, pin_cap=1.2, resistance=1.3, intrinsic=1.5, leakage=2.1),
+        Cell("OAI21_X1", ("nand", ("nand", ("inv", a), ("inv", b)), c), area=2.0, pin_cap=1.2, resistance=1.3, intrinsic=1.5, leakage=2.1),
+        Cell(
+            "XOR2_X1",
+            ("nand", ("nand", a, ("inv", b)), ("nand", ("inv", a), b)),
+            area=3.0, pin_cap=1.5, resistance=1.4, intrinsic=2.2, leakage=2.8,
+        ),
+        Cell(
+            "XNOR2_X1",
+            ("inv", ("nand", ("nand", a, ("inv", b)), ("nand", ("inv", a), b))),
+            area=3.0, pin_cap=1.5, resistance=1.4, intrinsic=2.4, leakage=2.8,
+        ),
+    )
+    return Library(cells=cells)

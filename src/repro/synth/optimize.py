@@ -1,0 +1,170 @@
+"""Multi-level logic optimisation: shared divisor extraction.
+
+The "Design Compiler" stage of the reproduction's flow.  Starting from the
+two-level (per-output) network, it repeatedly extracts the best-value
+shared algebraic divisor — a kernel or a cube — into a new node and
+re-expresses every divisible node through it, shrinking total literal
+count.  This is the MIS/SIS ``gkx``/``gcx`` greedy loop; factoring of the
+final nodes happens later, during subject-graph construction.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from .kernels import (
+    CubeSet,
+    algebraic_divide,
+    cover_to_cubes,
+    cube_set_literals,
+    cubes_to_cover,
+    kernels,
+)
+from .network import LogicNetwork
+
+__all__ = ["extract_kernels", "extract_cubes", "optimize_network"]
+
+
+def _node_cubes(network: LogicNetwork, name: str) -> CubeSet:
+    node = network.nodes[name]
+    return cover_to_cubes(node.cover, node.fanins)
+
+
+def _rewrite_node(
+    network: LogicNetwork,
+    name: str,
+    quotient: CubeSet,
+    remainder: CubeSet,
+    divisor_signal: str,
+) -> None:
+    """Replace node *name* with ``quotient * divisor_signal + remainder``."""
+    new_cubes = {cube | {(divisor_signal, True)} for cube in quotient} | set(remainder)
+    signals = sorted({literal[0] for cube in new_cubes for literal in cube})
+    cover = cubes_to_cover(frozenset(new_cubes), signals)
+    node = network.nodes[name]
+    node.fanins = signals
+    node.cover = cover
+
+
+def _install_divisor(network: LogicNetwork, divisor: CubeSet, stem: str) -> str:
+    signals = sorted({literal[0] for cube in divisor for literal in cube})
+    cover = cubes_to_cover(divisor, signals)
+    name = network.fresh_name(stem)
+    network.add_node(name, signals, cover)
+    return name
+
+
+def extract_kernels(network: LogicNetwork, *, max_extractions: int = 200) -> int:
+    """Greedy shared-kernel extraction.
+
+    Returns:
+        Number of divisor nodes created.
+    """
+    created = 0
+    for _ in range(max_extractions):
+        candidates: set[CubeSet] = set()
+        node_cubes: dict[str, CubeSet] = {}
+        node_literals: dict[str, frozenset] = {}
+        for name in list(network.nodes):
+            cubes = _node_cubes(network, name)
+            node_cubes[name] = cubes
+            node_literals[name] = frozenset(lit for cube in cubes for lit in cube)
+            if len(cubes) < 2:
+                continue
+            candidates.update(kernels(cubes, max_kernels=50))
+        if not candidates:
+            break
+        # Rank candidates by intrinsic value and only try the most promising
+        # ones against every node (full cross-division is quadratic).
+        ranked = sorted(
+            candidates,
+            key=lambda k: (len(k) - 1) * (cube_set_literals(k) - 1),
+            reverse=True,
+        )[:60]
+        best_kernel: CubeSet | None = None
+        best_value = 0
+        divisions: dict[CubeSet, list[tuple[str, CubeSet, CubeSet]]] = {}
+        for kernel in ranked:
+            kernel_literals = frozenset(lit for cube in kernel for lit in cube)
+            uses: list[tuple[str, CubeSet, CubeSet]] = []
+            saved = 0
+            for name, cubes in node_cubes.items():
+                if not kernel_literals <= node_literals[name]:
+                    continue
+                quotient, remainder = algebraic_divide(cubes, kernel)
+                if not quotient:
+                    continue
+                old_literals = cube_set_literals(cubes)
+                new_literals = (
+                    cube_set_literals(quotient)
+                    + len(quotient)
+                    + cube_set_literals(remainder)
+                )
+                if new_literals < old_literals:
+                    uses.append((name, quotient, remainder))
+                    saved += old_literals - new_literals
+            value = saved - cube_set_literals(kernel)
+            if len(uses) >= 1 and value > best_value:
+                best_kernel, best_value = kernel, value
+                divisions[kernel] = uses
+        if best_kernel is None:
+            break
+        divisor_signal = _install_divisor(network, best_kernel, "k")
+        for name, quotient, remainder in divisions[best_kernel]:
+            _rewrite_node(network, name, quotient, remainder, divisor_signal)
+        created += 1
+    return created
+
+
+def extract_cubes(network: LogicNetwork, *, max_extractions: int = 200) -> int:
+    """Greedy shared-cube extraction (common sub-cubes across nodes).
+
+    Returns:
+        Number of divisor nodes created.
+    """
+    created = 0
+    for _ in range(max_extractions):
+        counts: Counter = Counter()
+        for name in network.nodes:
+            for cube in _node_cubes(network, name):
+                if len(cube) >= 2:
+                    for other in _subcubes_of_size_two(cube):
+                        counts[other] += 1
+        best_cube = None
+        best_value = 0
+        for cube, occurrences in counts.items():
+            # Extracting a 2-literal cube saves one literal per occurrence
+            # beyond the new node's own two literals.
+            value = occurrences - 2
+            if value > best_value:
+                best_cube, best_value = cube, value
+        if best_cube is None:
+            break
+        divisor = frozenset({best_cube})
+        divisor_signal = _install_divisor(network, divisor, "c")
+        for name in list(network.nodes):
+            if name == divisor_signal:
+                continue
+            cubes = _node_cubes(network, name)
+            quotient, remainder = algebraic_divide(cubes, divisor)
+            if quotient:
+                _rewrite_node(network, name, quotient, remainder, divisor_signal)
+        created += 1
+    return created
+
+
+def _subcubes_of_size_two(cube: frozenset) -> list[frozenset]:
+    literals = sorted(cube)
+    return [
+        frozenset({literals[i], literals[j]})
+        for i in range(len(literals))
+        for j in range(i + 1, len(literals))
+    ]
+
+
+def optimize_network(network: LogicNetwork) -> LogicNetwork:
+    """The full technology-independent script: kernels, cubes, cleanup."""
+    extract_kernels(network)
+    extract_cubes(network)
+    network.sweep_dangling()
+    return network

@@ -1,0 +1,189 @@
+"""Re-noding: repartitioning a network into k-feasible nodes.
+
+Sec. 4 of the paper suggests decomposing large circuits "via, for example,
+the 'renode' command in ABC" before extracting and reassigning internal
+DCs: coarser nodes expose more flexibility per node and drastically shrink
+the problem handed to the assignment algorithms.
+
+This module implements the same operation: the network is lowered to its
+subject graph (INV/NAND2), priority k-feasible cuts are enumerated, and a
+depth-oriented cut cover turns every selected cut into one SOP node whose
+local function is computed exactly.  The result is a
+:class:`~repro.synth.network.LogicNetwork` of at-most-*k*-input nodes
+implementing the identical function — ready for
+:func:`repro.synth.odc.reassign_internal_dcs`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..espresso.cube import Cover
+from ..espresso.minimize import espresso
+from .network import LogicNetwork
+from .subject import SubjectGraph, build_subject_graph
+
+__all__ = ["enumerate_cuts", "renode"]
+
+_MAX_CUTS_PER_NODE = 8
+"""Priority-cut bound: keep only this many cuts per vertex."""
+
+
+def enumerate_cuts(
+    graph: SubjectGraph, k: int
+) -> dict[int, list[tuple[frozenset[int], int]]]:
+    """Priority k-feasible cuts (with cone volumes) per subject vertex.
+
+    Every vertex gets its trivial cut ``{vertex}``; internal vertices
+    additionally merge their fanins' cuts, keeping at most
+    ``_MAX_CUTS_PER_NODE`` candidates per vertex, preferring the deepest
+    (largest approximate cone volume) — renode wants coarse nodes, unlike
+    LUT mapping's smallest-first priority.
+
+    Args:
+        graph: subject graph.
+        k: maximum cut width (node fanin bound), ``k >= 2``.
+
+    Raises:
+        ValueError: for ``k < 2``.
+    """
+    if k < 2:
+        raise ValueError(f"cut width k must be >= 2, got {k}")
+    # Per vertex: list of (cut, approximate cone volume).
+    cuts: dict[int, list[tuple[frozenset[int], int]]] = {}
+    for ref, node in enumerate(graph.nodes):
+        trivial = (frozenset({ref}), 0)
+        if node.kind in ("pi", "const"):
+            cuts[ref] = [trivial]
+            continue
+        merged: dict[frozenset[int], int] = {}
+        if node.kind == "inv":
+            for cut, volume in cuts[node.fanins[0]]:
+                merged[cut] = max(merged.get(cut, 0), volume + 1)
+        else:
+            for cut_a, vol_a in cuts[node.fanins[0]]:
+                for cut_b, vol_b in cuts[node.fanins[1]]:
+                    union = cut_a | cut_b
+                    if len(union) <= k:
+                        merged[union] = max(merged.get(union, 0), vol_a + vol_b + 1)
+        # Drop dominated cuts (supersets of another cut), then keep the
+        # deepest (largest-cone) candidates: renode wants coarse nodes.
+        kept: list[frozenset[int]] = []
+        for cut in sorted(merged, key=len):
+            if not any(other < cut for other in kept):
+                kept.append(cut)
+        kept.sort(key=lambda cut: merged[cut], reverse=True)
+        kept = kept[: _MAX_CUTS_PER_NODE - 1]
+        cuts[ref] = [(cut, merged[cut]) for cut in kept] + [trivial]
+    return cuts
+
+
+def _cut_function(
+    graph: SubjectGraph, root: int, leaves: list[int]
+) -> np.ndarray:
+    """Exact truth table of *root* over the cut *leaves* (leaf 0 = bit 0)."""
+    size = 1 << len(leaves)
+    idx = np.arange(size)
+    values: dict[int, np.ndarray] = {
+        leaf: ((idx >> position) & 1).astype(bool)
+        for position, leaf in enumerate(leaves)
+    }
+
+    def evaluate(ref: int) -> np.ndarray:
+        cached = values.get(ref)
+        if cached is not None:
+            return cached
+        node = graph.nodes[ref]
+        if node.kind == "const":
+            result = np.full(size, node.label == "1", dtype=bool)
+        elif node.kind == "inv":
+            result = ~evaluate(node.fanins[0])
+        elif node.kind == "nand":
+            result = ~(evaluate(node.fanins[0]) & evaluate(node.fanins[1]))
+        else:  # a PI that is not a leaf would make the cut infeasible
+            raise ValueError(f"vertex {ref} is not covered by the cut")
+        values[ref] = result
+        return result
+
+    return evaluate(root)
+
+
+def renode(network: LogicNetwork, k: int = 6) -> LogicNetwork:
+    """Repartition *network* into a network of <= *k*-input SOP nodes.
+
+    The subject graph is covered bottom-up with the widest available cut
+    at every mapping frontier (greedy depth-style cover), and each chosen
+    cut's exact local function is re-minimised with ESPRESSO to give the
+    node a clean SOP.
+
+    Args:
+        network: source network (unchanged).
+        k: node fanin bound.
+
+    Returns:
+        A new, functionally identical network of k-feasible nodes.
+    """
+    graph = build_subject_graph(network)
+    cuts = enumerate_cuts(graph, k)
+    fanout = graph.fanout_counts()
+
+    result = LogicNetwork(list(network.primary_inputs))
+    signal_of: dict[int, str] = {}
+    for ref, node in enumerate(graph.nodes):
+        if node.kind == "pi":
+            signal_of[ref] = node.label
+
+    del fanout  # cuts may cross fanout; shared cones are duplicated, as
+    # in ABC's renode — the point is coarse nodes, not minimal area.
+
+    def cone_volume(ref: int, cut: frozenset[int]) -> int:
+        """Subject vertices strictly inside the (ref, cut) cone."""
+        seen: set[int] = set()
+        stack = [ref]
+        while stack:
+            current = stack.pop()
+            if current in cut or current in seen:
+                continue
+            seen.add(current)
+            stack.extend(graph.nodes[current].fanins)
+        return len(seen)
+
+    def materialise(ref: int) -> str:
+        cached = signal_of.get(ref)
+        if cached is not None:
+            return cached
+        node = graph.nodes[ref]
+        if node.kind == "const":
+            name = result.fresh_name("const")
+            cover = (
+                Cover.universe(1) if node.label == "1" else Cover.empty(1)
+            )
+            anchor = network.primary_inputs[0]
+            result.add_node(name, [anchor], cover)
+            signal_of[ref] = name
+            return name
+        # Choose the cut swallowing the most logic; its leaves become the
+        # node's fanins and are materialised recursively.
+        candidates = [cut for cut, _ in cuts[ref] if cut != frozenset({ref})]
+        if not candidates:
+            candidates = [frozenset(node.fanins)]
+        chosen = max(candidates, key=lambda cut: cone_volume(ref, cut))
+        leaves = sorted(chosen)
+        leaf_signals = [materialise(leaf) for leaf in leaves]
+        table = _cut_function(graph, ref, leaves)
+        minterms = np.flatnonzero(table)
+        if minterms.size == 0:
+            cover = Cover.empty(len(leaves))
+        elif minterms.size == table.size:
+            cover = Cover.universe(len(leaves))
+        else:
+            cover = espresso(Cover.from_minterms(len(leaves), minterms))
+        name = result.fresh_name("r")
+        result.add_node(name, leaf_signals, cover)
+        signal_of[ref] = name
+        return name
+
+    for out_name, ref in graph.outputs.items():
+        result.set_output(out_name, materialise(ref))
+    result.sweep_dangling()
+    return result

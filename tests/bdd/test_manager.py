@@ -1,0 +1,219 @@
+"""Tests for the ROBDD manager."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bdd import BddManager
+
+
+@pytest.fixture
+def mgr():
+    return BddManager(4)
+
+
+class TestBasics:
+    def test_terminals(self, mgr):
+        assert mgr.zero == 0
+        assert mgr.one == 1
+        assert mgr.is_terminal(mgr.zero)
+        assert mgr.constant(True) == mgr.one
+        assert mgr.constant(False) == mgr.zero
+
+    def test_var_out_of_range(self, mgr):
+        with pytest.raises(ValueError):
+            mgr.var(4)
+        with pytest.raises(ValueError):
+            mgr.nvar(-1)
+
+    def test_negative_vars_rejected(self):
+        with pytest.raises(ValueError):
+            BddManager(-1)
+
+    def test_hash_consing(self, mgr):
+        """Structurally equal functions share a reference."""
+        a = mgr.apply_and(mgr.var(0), mgr.var(1))
+        b = mgr.apply_and(mgr.var(1), mgr.var(0))
+        assert a == b
+
+    def test_reduction(self, mgr):
+        """ite(x, f, f) == f — redundant tests never create nodes."""
+        f = mgr.var(1)
+        assert mgr.ite(mgr.var(0), f, f) == f
+
+
+class TestConnectives:
+    def test_not(self, mgr):
+        x = mgr.var(0)
+        assert mgr.apply_not(mgr.apply_not(x)) == x
+        assert mgr.apply_not(mgr.one) == mgr.zero
+
+    def test_and_or_duality(self, mgr):
+        x, y = mgr.var(0), mgr.var(1)
+        left = mgr.apply_not(mgr.apply_and(x, y))
+        right = mgr.apply_or(mgr.apply_not(x), mgr.apply_not(y))
+        assert left == right
+
+    def test_xor(self, mgr):
+        x, y = mgr.var(0), mgr.var(1)
+        f = mgr.apply_xor(x, y)
+        assert mgr.evaluate(f, [1, 0, 0, 0])
+        assert mgr.evaluate(f, [0, 1, 0, 0])
+        assert not mgr.evaluate(f, [1, 1, 0, 0])
+        assert mgr.apply_xnor(x, y) == mgr.apply_not(f)
+
+    def test_implies(self, mgr):
+        x, y = mgr.var(0), mgr.var(1)
+        f = mgr.apply_implies(x, y)
+        assert mgr.evaluate(f, [0, 0, 0, 0])
+        assert not mgr.evaluate(f, [1, 0, 0, 0])
+
+    def test_conjoin_disjoin(self, mgr):
+        vars_ = [mgr.var(i) for i in range(4)]
+        f = mgr.conjoin(vars_)
+        assert mgr.sat_count(f) == 1
+        g = mgr.disjoin(vars_)
+        assert mgr.sat_count(g) == 15
+        assert mgr.conjoin([]) == mgr.one
+        assert mgr.disjoin([]) == mgr.zero
+
+
+class TestQuantification:
+    def test_restrict(self, mgr):
+        f = mgr.apply_and(mgr.var(0), mgr.var(1))
+        assert mgr.restrict(f, 0, True) == mgr.var(1)
+        assert mgr.restrict(f, 0, False) == mgr.zero
+
+    def test_exists(self, mgr):
+        f = mgr.apply_and(mgr.var(0), mgr.var(1))
+        assert mgr.exists(f, [0]) == mgr.var(1)
+        assert mgr.exists(f, [0, 1]) == mgr.one
+
+    def test_forall(self, mgr):
+        f = mgr.apply_or(mgr.var(0), mgr.var(1))
+        assert mgr.forall(f, [0]) == mgr.var(1)
+        assert mgr.forall(f, [0, 1]) == mgr.zero
+
+    def test_compose(self, mgr):
+        f = mgr.apply_and(mgr.var(0), mgr.var(1))
+        g = mgr.apply_or(mgr.var(2), mgr.var(3))
+        composed = mgr.compose(f, 0, g)
+        expected = mgr.apply_and(g, mgr.var(1))
+        assert composed == expected
+
+
+class TestCounting:
+    def test_sat_count(self, mgr):
+        assert mgr.sat_count(mgr.one) == 16
+        assert mgr.sat_count(mgr.zero) == 0
+        assert mgr.sat_count(mgr.var(2)) == 8
+
+    def test_support(self, mgr):
+        f = mgr.apply_and(mgr.var(0), mgr.var(3))
+        assert mgr.support(f) == {0, 3}
+        assert mgr.support(mgr.one) == set()
+
+    def test_size(self, mgr):
+        assert mgr.size(mgr.one) == 0
+        assert mgr.size(mgr.var(0)) == 1
+
+
+class TestTruthTables:
+    def test_round_trip_simple(self, mgr):
+        table = np.array([False, True] * 8)  # f = x0
+        f = mgr.from_truth_table(table)
+        assert f == mgr.var(0)
+        np.testing.assert_array_equal(mgr.to_truth_table(f), table)
+
+    def test_bad_length(self, mgr):
+        with pytest.raises(ValueError, match="length"):
+            mgr.from_truth_table(np.zeros(8, dtype=bool))
+
+    @given(st.integers(0, 10**9))
+    @settings(max_examples=40, deadline=None)
+    def test_round_trip_random(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(1, 8))
+        mgr = BddManager(n)
+        table = rng.random(1 << n) < 0.5
+        f = mgr.from_truth_table(table)
+        np.testing.assert_array_equal(mgr.to_truth_table(f), table)
+        assert mgr.sat_count(f) == int(table.sum())
+
+    @given(st.integers(0, 10**9))
+    @settings(max_examples=25, deadline=None)
+    def test_ops_match_numpy(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(1, 7))
+        mgr = BddManager(n)
+        ta = rng.random(1 << n) < 0.5
+        tb = rng.random(1 << n) < 0.5
+        a = mgr.from_truth_table(ta)
+        b = mgr.from_truth_table(tb)
+        np.testing.assert_array_equal(mgr.to_truth_table(mgr.apply_and(a, b)), ta & tb)
+        np.testing.assert_array_equal(mgr.to_truth_table(mgr.apply_or(a, b)), ta | tb)
+        np.testing.assert_array_equal(mgr.to_truth_table(mgr.apply_xor(a, b)), ta ^ tb)
+        np.testing.assert_array_equal(mgr.to_truth_table(mgr.apply_not(a)), ~ta)
+
+    @given(st.integers(0, 10**9))
+    @settings(max_examples=20, deadline=None)
+    def test_canonicity(self, seed):
+        """Equal functions built differently intern to the same reference."""
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(1, 6))
+        mgr = BddManager(n)
+        table = rng.random(1 << n) < 0.5
+        direct = mgr.from_truth_table(table)
+        # Build the same function as a disjunction of minterm cubes.
+        minterm_refs = []
+        for m in np.flatnonzero(table):
+            literals = [
+                mgr.var(j) if (int(m) >> j) & 1 else mgr.nvar(j) for j in range(n)
+            ]
+            minterm_refs.append(mgr.conjoin(literals))
+        assert mgr.disjoin(minterm_refs) == direct
+
+
+class TestSpecBridge:
+    def test_spec_sets_partition(self):
+        from repro.bdd import spec_sets
+        from repro.core.spec import FunctionSpec
+
+        spec = FunctionSpec.from_sets(3, on_sets=[[1, 5]], dc_sets=[[0, 7]])
+        mgr = BddManager(3)
+        on, off, dc = spec_sets(mgr, spec, 0)
+        assert mgr.apply_and(on, off) == mgr.zero
+        assert mgr.apply_and(on, dc) == mgr.zero
+        assert mgr.disjoin([on, off, dc]) == mgr.one
+        assert mgr.sat_count(on) == 2
+        assert mgr.sat_count(dc) == 2
+
+    def test_spec_round_trip(self):
+        from repro.bdd import spec_from_bdds, spec_sets
+        from repro.core.spec import FunctionSpec
+
+        spec = FunctionSpec.from_sets(4, on_sets=[[1, 5], [2]], dc_sets=[[0], [9, 3]])
+        mgr = BddManager(4)
+        on_refs, dc_refs = [], []
+        for out in range(spec.num_outputs):
+            on, _, dc = spec_sets(mgr, spec, out)
+            on_refs.append(on)
+            dc_refs.append(dc)
+        again = spec_from_bdds(mgr, on_refs, dc_refs)
+        assert again == spec
+
+    def test_spec_from_bdds_overlap_rejected(self):
+        from repro.bdd import spec_from_bdds
+
+        mgr = BddManager(2)
+        with pytest.raises(ValueError, match="overlap"):
+            spec_from_bdds(mgr, [mgr.var(0)], [mgr.var(0)])
+
+    def test_mismatched_manager(self):
+        from repro.bdd import spec_sets
+        from repro.core.spec import FunctionSpec
+
+        spec = FunctionSpec.from_sets(3, on_sets=[[1]])
+        with pytest.raises(ValueError, match="variable count"):
+            spec_sets(BddManager(2), spec, 0)

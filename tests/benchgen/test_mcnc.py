@@ -1,0 +1,50 @@
+"""Tests for the Table 1 stand-in registry."""
+
+import pytest
+
+from repro.benchgen.mcnc import TABLE1, benchmark_info, benchmark_names, mcnc_benchmark
+from repro.core.complexity import spec_complexity_factor, spec_expected_complexity_factor
+
+
+class TestRegistry:
+    def test_roster_matches_paper(self):
+        assert benchmark_names() == [
+            "bench", "fout", "p3", "p1", "exp", "test4",
+            "ex1010", "exam", "t4", "random1", "random2", "random3",
+        ]
+
+    def test_info_lookup(self):
+        info = benchmark_info("ex1010")
+        assert info.num_inputs == 10
+        assert info.num_outputs == 10
+        assert info.dc_percent == pytest.approx(70.3)
+        assert info.cf == pytest.approx(0.539)
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown benchmark"):
+            benchmark_info("nope")
+
+
+class TestStandIns:
+    @pytest.mark.parametrize("info", TABLE1, ids=lambda i: i.name)
+    def test_matches_table1_row(self, info):
+        spec = mcnc_benchmark(info.name)
+        assert spec.num_inputs == info.num_inputs
+        assert spec.num_outputs == info.num_outputs
+        assert spec.dc_fraction() == pytest.approx(info.dc_percent / 100, abs=0.02)
+        assert spec_complexity_factor(spec) == pytest.approx(info.cf, abs=0.02)
+        assert spec_expected_complexity_factor(spec) == pytest.approx(
+            info.expected_cf, abs=0.02
+        )
+
+    def test_caching_returns_same_object(self):
+        assert mcnc_benchmark("bench") is mcnc_benchmark("bench")
+
+    def test_deterministic_across_cache(self, tmp_path, monkeypatch):
+        import repro.benchgen.mcnc as mcnc_mod
+
+        fresh = mcnc_benchmark("fout")
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        mcnc_mod._CACHE.clear()
+        regenerated = mcnc_benchmark("fout")
+        assert regenerated == fresh

@@ -1,0 +1,75 @@
+"""Tests for the Assignment record type."""
+
+import numpy as np
+import pytest
+
+from repro.core.assignment import Assignment
+from repro.core.spec import FunctionSpec
+from repro.core.truthtable import DC, OFF, ON
+
+
+@pytest.fixture
+def spec():
+    return FunctionSpec.from_sets(3, on_sets=[[0]], dc_sets=[[3, 5, 6]])
+
+
+class TestSet:
+    def test_set_and_len(self, spec):
+        a = Assignment()
+        a.set(0, 3, ON)
+        a.set(0, 5, OFF)
+        assert len(a) == 2
+
+    def test_idempotent_set(self):
+        a = Assignment()
+        a.set(0, 3, ON)
+        a.set(0, 3, ON)
+        assert len(a) == 1
+
+    def test_conflict_rejected(self):
+        a = Assignment()
+        a.set(0, 3, ON)
+        with pytest.raises(ValueError, match="conflicting"):
+            a.set(0, 3, OFF)
+
+    def test_invalid_value_rejected(self):
+        with pytest.raises(ValueError, match="ON or OFF"):
+            Assignment().set(0, 3, DC)
+
+
+class TestApply:
+    def test_apply(self, spec):
+        a = Assignment({(0, 3): ON, (0, 5): OFF})
+        out = a.apply(spec)
+        assert out.phases[0, 3] == ON
+        assert out.phases[0, 5] == OFF
+        assert out.phases[0, 6] == DC  # untouched
+        assert spec.phases[0, 3] == DC  # original unchanged
+
+    def test_apply_rejects_care_targets(self, spec):
+        a = Assignment({(0, 0): OFF})
+        with pytest.raises(ValueError, match="care minterm"):
+            a.apply(spec)
+
+
+class TestMergeAndFraction:
+    def test_merged(self, spec):
+        a = Assignment({(0, 3): ON})
+        b = Assignment({(0, 5): OFF})
+        merged = a.merged(b)
+        assert merged.decisions == {(0, 3): ON, (0, 5): OFF}
+        assert a.decisions == {(0, 3): ON}  # inputs untouched
+
+    def test_merged_conflict(self):
+        a = Assignment({(0, 3): ON})
+        b = Assignment({(0, 3): OFF})
+        with pytest.raises(ValueError, match="conflicting"):
+            a.merged(b)
+
+    def test_fraction_of(self, spec):
+        a = Assignment({(0, 3): ON})
+        assert a.fraction_of(spec) == pytest.approx(1 / 3)
+
+    def test_fraction_of_fully_specified_spec(self):
+        full = FunctionSpec.from_truth_table(np.array([[0, 1, 0, 1]]))
+        assert Assignment().fraction_of(full) == 0.0

@@ -1,0 +1,110 @@
+"""Tests for complexity-factor-based DC assignment (Fig. 7)."""
+
+import numpy as np
+import pytest
+
+from repro.core.cfactor import (
+    DEFAULT_THRESHOLD,
+    THRESHOLD_RANGE,
+    cfactor_assignment,
+    cfactor_selected_minterms,
+)
+from repro.core.complexity import local_complexity_factor
+from repro.core.ranking import ranking_assignment
+from repro.core.reliability import error_rate, exact_error_bounds
+from repro.core.spec import FunctionSpec
+from repro.core.truthtable import DC, OFF, ON
+
+from .conftest import random_spec
+
+
+class TestSelection:
+    def test_threshold_zero_selects_nothing(self):
+        spec = random_spec(1, num_inputs=6, dc_fraction=0.5)
+        assert len(cfactor_assignment(spec, threshold=0.0)) == 0
+
+    def test_threshold_one_selects_everything(self):
+        """LC^f < 1 except in fully uniform 2-balls."""
+        spec = random_spec(2, num_inputs=6, num_outputs=1, dc_fraction=0.5)
+        selected = cfactor_selected_minterms(spec, 0, 1.0)
+        phases = spec.output_phases(0)
+        lcf = local_complexity_factor(phases)
+        expected = np.flatnonzero((phases == DC) & (lcf < 1.0))
+        np.testing.assert_array_equal(selected, expected)
+
+    def test_selection_respects_threshold(self):
+        spec = random_spec(3, num_inputs=6, num_outputs=1, dc_fraction=0.5)
+        threshold = 0.55
+        lcf = local_complexity_factor(spec.output_phases(0))
+        for m in cfactor_selected_minterms(spec, 0, threshold):
+            assert lcf[m] < threshold
+
+    def test_only_dc_minterms_selected(self):
+        spec = random_spec(4, num_inputs=6, num_outputs=1, dc_fraction=0.3)
+        dc = set(spec.dc_set(0).tolist())
+        assignment = cfactor_assignment(spec, 0.9)
+        assert all(m in dc for (_, m) in assignment)
+
+    def test_threshold_validation(self):
+        spec = random_spec(5, num_inputs=4)
+        with pytest.raises(ValueError, match="threshold"):
+            cfactor_assignment(spec, threshold=1.5)
+
+
+class TestAssignmentSemantics:
+    def test_majority_phase_decisions(self):
+        spec = random_spec(6, num_inputs=6, num_outputs=1, dc_fraction=0.5)
+        from repro.core.hamming import neighbor_phase_counts
+
+        on_nb, off_nb, _ = neighbor_phase_counts(spec.output_phases(0))
+        assignment = cfactor_assignment(spec, threshold=0.8)
+        for (_, m), value in assignment.items():
+            if on_nb[m] > off_nb[m]:
+                assert value == ON
+            else:
+                assert value == OFF  # ties go to the off-set, per Fig. 7
+
+    def test_monotone_in_threshold(self):
+        """Raising the threshold can only select more minterms."""
+        spec = random_spec(7, num_inputs=7, num_outputs=2, dc_fraction=0.6)
+        previous: set = set()
+        for threshold in (0.3, 0.45, 0.55, 0.65, 0.8):
+            current = set(cfactor_assignment(spec, threshold).decisions)
+            assert previous <= current
+            previous = current
+
+    def test_partial_error_rate_within_bounds(self):
+        spec = random_spec(8, num_inputs=7, num_outputs=2, dc_fraction=0.6)
+        assigned = cfactor_assignment(spec, DEFAULT_THRESHOLD).apply(spec)
+        rate = error_rate(assigned, spec=spec)
+        bounds = exact_error_bounds(spec)
+        # Partial majority-phase assignment stays at or below the spec's
+        # achievable maximum and above the base-error floor.
+        assert rate <= bounds.hi + 1e-12
+
+    def test_defers_on_high_complexity_functions(self):
+        """On a near-constant (very high C^f) function, most DC minterms sit
+        in uniform neighbourhoods, so a mid-range threshold selects little —
+        the random3/t4 behaviour of Table 2."""
+        phases = np.full((1, 256), ON, dtype=np.uint8)
+        phases[0, :24] = DC  # a DC cluster in an otherwise constant function
+        spec = FunctionSpec(phases)
+        assignment = cfactor_assignment(spec, threshold=0.55)
+        assert len(assignment) < 24  # defers at least the interior minterms
+
+    def test_threshold_range_constant(self):
+        lo, hi = THRESHOLD_RANGE
+        assert lo == pytest.approx(0.45)
+        assert hi == pytest.approx(0.65)
+        assert lo <= DEFAULT_THRESHOLD <= hi
+
+
+class TestAgainstRanking:
+    def test_same_fraction_comparison_hookup(self):
+        """Table 2 compares LC^f-based and ranking-based at equal fractions."""
+        spec = random_spec(9, num_inputs=7, num_outputs=1, dc_fraction=0.6)
+        cf = cfactor_assignment(spec, DEFAULT_THRESHOLD)
+        fraction = cf.fraction_of(spec)
+        ranked = ranking_assignment(spec, min(1.0, fraction))
+        # Both produce valid partial assignments of comparable size.
+        assert abs(len(ranked) - len(cf)) <= max(10, 0.5 * max(len(cf), 1))

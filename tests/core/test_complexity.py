@@ -1,0 +1,133 @@
+"""Tests for complexity-factor metrics against the paper's anchor points."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.complexity import (
+    complexity_factor,
+    expected_complexity_factor,
+    local_complexity,
+    local_complexity_factor,
+    spec_complexity_factor,
+    spec_expected_complexity_factor,
+)
+from repro.core.spec import FunctionSpec
+from repro.core.truthtable import DC, OFF, ON
+
+
+def parity_phases(n: int) -> np.ndarray:
+    idx = np.arange(1 << n)
+    bits = np.zeros(1 << n, dtype=np.int64)
+    for b in range(n):
+        bits += (idx >> b) & 1
+    return np.where(bits % 2 == 1, ON, OFF).astype(np.uint8)
+
+
+class TestComplexityFactor:
+    def test_constant_function_is_one(self):
+        """A constant function has C^f = 1 (paper, Sec. 2.2)."""
+        assert complexity_factor(np.full(32, ON, np.uint8)) == pytest.approx(1.0)
+        assert complexity_factor(np.full(32, OFF, np.uint8)) == pytest.approx(1.0)
+
+    def test_parity_is_zero(self):
+        """A perfect XOR has C^f = 0 (paper, Sec. 2.2)."""
+        for n in (2, 4, 6):
+            assert complexity_factor(parity_phases(n)) == pytest.approx(0.0)
+
+    def test_single_variable_function(self):
+        """f = x0 on 2 inputs: each minterm has 1 same-phase neighbour of 2."""
+        phases = np.array([OFF, ON, OFF, ON], dtype=np.uint8)
+        assert complexity_factor(phases) == pytest.approx(0.5)
+
+    def test_all_dc_is_one(self):
+        assert complexity_factor(np.full(16, DC, np.uint8)) == pytest.approx(1.0)
+
+    def test_multi_output_returns_per_output(self):
+        phases = np.stack([np.full(8, ON, np.uint8), parity_phases(3)])
+        values = complexity_factor(phases)
+        np.testing.assert_allclose(values, [1.0, 0.0])
+
+    @given(st.integers(0, 10**9))
+    @settings(max_examples=25, deadline=None)
+    def test_matches_brute_force(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(2, 6))
+        phases = rng.integers(0, 3, size=1 << n).astype(np.uint8)
+        count = 0
+        for x in range(1 << n):
+            for b in range(n):
+                if phases[x] == phases[x ^ (1 << b)]:
+                    count += 1
+        assert complexity_factor(phases) == pytest.approx(count / (n * (1 << n)))
+
+
+class TestExpectedComplexityFactor:
+    def test_formula(self):
+        spec = FunctionSpec.from_sets(2, on_sets=[[0]], dc_sets=[[1, 2]])
+        # f0 = f1 = 0.25, fdc = 0.5 -> 0.0625 + 0.0625 + 0.25 = 0.375
+        assert expected_complexity_factor(spec.phases[0]) == pytest.approx(0.375)
+
+    def test_bounds(self):
+        rng = np.random.default_rng(5)
+        phases = rng.integers(0, 3, size=64).astype(np.uint8)
+        value = expected_complexity_factor(phases)
+        assert 1.0 / 3.0 <= value <= 1.0
+
+    def test_random_function_cf_near_expected(self):
+        """For i.i.d. random phases, C^f concentrates near E[C^f]."""
+        rng = np.random.default_rng(8)
+        phases = rng.choice(
+            np.array([OFF, ON, DC], np.uint8), size=1 << 12, p=[0.25, 0.25, 0.5]
+        )
+        cf = complexity_factor(phases)
+        expected = expected_complexity_factor(phases)
+        assert abs(cf - expected) < 0.02
+
+
+class TestLocalComplexity:
+    def test_mean_local_equals_global(self):
+        rng = np.random.default_rng(9)
+        phases = rng.integers(0, 3, size=64).astype(np.uint8)
+        np.testing.assert_allclose(
+            local_complexity(phases).mean(), complexity_factor(phases)
+        )
+
+    def test_lcf_matches_definition(self):
+        """LC^f(x) by the paper's pair-counting definition, brute force."""
+        rng = np.random.default_rng(10)
+        n = 4
+        phases = rng.integers(0, 3, size=1 << n).astype(np.uint8)
+        lcf = local_complexity_factor(phases)
+        for x in range(1 << n):
+            pairs = 0
+            for b in range(n):
+                xj = x ^ (1 << b)
+                for b2 in range(n):
+                    xk = xj ^ (1 << b2)
+                    if phases[xj] == phases[xk]:
+                        pairs += 1
+            assert lcf[x] == pytest.approx(pairs / n**2)
+
+    def test_constant_function_lcf_is_one(self):
+        lcf = local_complexity_factor(np.full(16, ON, np.uint8))
+        np.testing.assert_allclose(lcf, 1.0)
+
+    def test_mean_lcf_equals_global_cf(self):
+        """Averaging LC^f over all minterms recovers C^f (double counting)."""
+        rng = np.random.default_rng(11)
+        phases = rng.integers(0, 3, size=128).astype(np.uint8)
+        np.testing.assert_allclose(
+            local_complexity_factor(phases).mean(), complexity_factor(phases)
+        )
+
+
+class TestSpecLevel:
+    def test_spec_helpers_average_outputs(self):
+        phases = np.stack([np.full(8, ON, np.uint8), parity_phases(3)])
+        spec = FunctionSpec(phases)
+        assert spec_complexity_factor(spec) == pytest.approx(0.5)
+        assert spec_expected_complexity_factor(spec) == pytest.approx(
+            float(np.mean(expected_complexity_factor(phases)))
+        )

@@ -1,0 +1,179 @@
+"""Tests for the Sec. 5 analytic estimators."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.estimates import (
+    EstimateReport,
+    border_bounds,
+    border_counts,
+    estimate_report,
+    signal_probability_bounds,
+)
+from repro.core.estimates import _folded_normal_mean, _poisson_pmf
+from repro.core.reliability import exact_error_bounds
+from repro.core.spec import FunctionSpec
+from repro.core.truthtable import DC, OFF, ON
+
+from .conftest import random_spec
+
+
+class TestBorderCounts:
+    def test_fig8_style_contrast(self):
+        """Two specs with identical signal probabilities but different
+        clustering have different border counts (Fig. 8's point)."""
+        # Clustered: DCs form a face of the cube.
+        clustered = np.array([DC, DC, ON, ON, OFF, OFF, OFF, OFF], dtype=np.uint8)
+        # Scattered: same (2 DC, 2 ON, 4 OFF) multiset, interleaved.
+        scattered = np.array([DC, ON, OFF, OFF, OFF, OFF, ON, DC], dtype=np.uint8)
+        b0c, b1c, bdcc = border_counts(clustered)
+        b0s, b1s, bdcs = border_counts(scattered)
+        assert (int(b0c), int(b1c), int(bdcc)) != (int(b0s), int(b1s), int(bdcs))
+        assert int(bdcs) > int(bdcc)
+
+    def test_counts_match_brute_force(self):
+        rng = np.random.default_rng(12)
+        n = 4
+        phases = rng.integers(0, 3, size=1 << n).astype(np.uint8)
+        b0, b1, bdc = border_counts(phases)
+        expect = {OFF: 0, ON: 0, DC: 0}
+        for x in range(1 << n):
+            for b in range(n):
+                if phases[x] != phases[x ^ (1 << b)]:
+                    expect[int(phases[x])] += 1
+        assert (int(b0), int(b1), int(bdc)) == (expect[OFF], expect[ON], expect[DC])
+
+    def test_constant_function_no_borders(self):
+        b0, b1, bdc = border_counts(np.full(16, ON, np.uint8))
+        assert (int(b0), int(b1), int(bdc)) == (0, 0, 0)
+
+
+class TestFoldedNormal:
+    def test_zero_mean(self):
+        sigma = 2.0
+        assert _folded_normal_mean(0.0, sigma) == pytest.approx(
+            sigma * math.sqrt(2 / math.pi)
+        )
+
+    def test_large_mean_dominates(self):
+        assert _folded_normal_mean(100.0, 1.0) == pytest.approx(100.0, rel=1e-6)
+
+    def test_zero_sigma(self):
+        assert _folded_normal_mean(-3.0, 0.0) == pytest.approx(3.0)
+
+    @given(
+        st.floats(-5, 5),
+        st.floats(0.1, 5),
+        st.integers(0, 10**6),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_against_monte_carlo(self, mu, sigma, seed):
+        rng = np.random.default_rng(seed)
+        samples = rng.normal(mu, sigma, size=200_000)
+        assert _folded_normal_mean(mu, sigma) == pytest.approx(
+            float(np.abs(samples).mean()), abs=0.05
+        )
+
+
+class TestPoissonPmf:
+    def test_sums_to_one(self):
+        lam = 2.5
+        total = sum(_poisson_pmf(k, lam) for k in range(100))
+        assert total == pytest.approx(1.0)
+
+    def test_zero_lambda(self):
+        assert _poisson_pmf(0, 0.0) == 1.0
+        assert _poisson_pmf(3, 0.0) == 0.0
+
+    def test_matches_scipy(self):
+        from scipy.stats import poisson
+
+        for k in range(10):
+            assert _poisson_pmf(k, 3.3) == pytest.approx(poisson.pmf(k, 3.3))
+
+
+class TestSignalBounds:
+    def test_fully_specified_band_is_point(self):
+        spec = FunctionSpec.from_truth_table(np.array([[0, 1, 1, 0]]))
+        band = signal_probability_bounds(spec)
+        assert band.lo == pytest.approx(band.hi)
+        assert band.lo == pytest.approx(2 * 0.5 * 0.5)
+
+    def test_constant_function_zero(self):
+        spec = FunctionSpec.from_truth_table(np.ones((1, 16)))
+        band = signal_probability_bounds(spec)
+        assert band.lo == pytest.approx(0.0)
+        assert band.hi == pytest.approx(0.0)
+
+    def test_band_ordering(self):
+        spec = random_spec(20, num_inputs=8, num_outputs=3, dc_fraction=0.5)
+        band = signal_probability_bounds(spec)
+        assert 0.0 <= band.lo <= band.hi <= 1.0
+
+    def test_overshoots_exact_on_structured_function(self):
+        """Table 3: the signal estimate ignores clustering, so on structured
+        (clustered) functions its band overshoots the exact one."""
+        # A well-clustered function: one DC face, one ON face.
+        phases = np.full((1, 256), OFF, dtype=np.uint8)
+        phases[0, :64] = ON
+        phases[0, 64:128] = DC
+        spec = FunctionSpec(phases)
+        exact = exact_error_bounds(spec)
+        signal = signal_probability_bounds(spec)
+        assert signal.lo > exact.lo
+        assert signal.hi > exact.hi
+
+
+class TestBorderBounds:
+    def test_band_ordering(self):
+        spec = random_spec(21, num_inputs=8, num_outputs=3, dc_fraction=0.5)
+        band = border_bounds(spec)
+        assert 0.0 <= band.lo <= band.hi + 1e-12
+
+    def test_fully_specified_reduces_to_base(self):
+        spec = FunctionSpec.from_truth_table(np.array([[0, 1, 1, 0]]))
+        band = border_bounds(spec)
+        assert band.lo == pytest.approx(band.hi)
+        assert band.lo == pytest.approx(1.0)  # parity: everything flips
+
+    def test_tracks_clustering(self):
+        """On clustered functions the border band is much tighter than the
+        signal band (the Table 3 contrast)."""
+        phases = np.full((1, 256), OFF, dtype=np.uint8)
+        phases[0, :64] = ON
+        phases[0, 64:128] = DC
+        spec = FunctionSpec(phases)
+        border = border_bounds(spec)
+        signal = signal_probability_bounds(spec)
+        assert border.width < signal.width
+        assert border.lo < signal.lo
+
+    @given(st.integers(0, 10**9))
+    @settings(max_examples=15, deadline=None)
+    def test_border_band_contains_or_brackets_exact(self, seed):
+        """The border estimate is built to bracket the exact band: its floor
+        never exceeds the exact minimum by much and its ceiling is not far
+        below the exact maximum.  (Table 3 reports containment on the MCNC
+        set; we assert the bracketing with a small tolerance on random
+        functions.)"""
+        spec = random_spec(seed, num_inputs=7, num_outputs=1, dc_fraction=0.5)
+        exact = exact_error_bounds(spec)
+        border = border_bounds(spec)
+        n = spec.num_inputs
+        slack = 1.5 / n  # one neighbour of slack per DC minterm
+        assert border.lo <= exact.lo + slack
+        assert border.hi >= exact.hi - slack
+
+
+class TestEstimateReport:
+    def test_report_bundles_all_three(self):
+        spec = random_spec(22, num_inputs=6, num_outputs=2, dc_fraction=0.5)
+        report = estimate_report(spec)
+        assert isinstance(report, EstimateReport)
+        assert report.exact.lo <= report.exact.hi
+        assert report.signal.lo <= report.signal.hi
+        assert report.border.lo <= report.border.hi + 1e-12

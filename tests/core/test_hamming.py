@@ -1,0 +1,54 @@
+"""Tests for Hamming utilities."""
+
+import numpy as np
+import pytest
+
+from repro.core.hamming import (
+    flip_bit,
+    hamming_distance,
+    neighbor_phase_counts,
+    neighbors,
+    same_phase_neighbor_counts,
+)
+from repro.core.truthtable import DC, OFF, ON
+
+
+class TestScalars:
+    def test_flip_bit(self):
+        assert flip_bit(0b0100, 1) == 0b0110
+        assert flip_bit(0b0110, 1) == 0b0100
+
+    def test_neighbors(self):
+        assert sorted(neighbors(0, 3)) == [1, 2, 4]
+        assert sorted(neighbors(5, 3)) == [1, 4, 7]
+
+    def test_hamming_distance(self):
+        assert hamming_distance(0b1010, 0b1010) == 0
+        assert hamming_distance(0b1010, 0b0101) == 4
+        assert hamming_distance(0, 0b111) == 3
+
+
+class TestNeighborPhaseCounts:
+    def test_counts_sum_to_n(self):
+        rng = np.random.default_rng(0)
+        phases = rng.integers(0, 3, size=(3, 32)).astype(np.uint8)
+        on_nb, off_nb, dc_nb = neighbor_phase_counts(phases)
+        np.testing.assert_array_equal(on_nb + off_nb + dc_nb, 5)
+
+    def test_matches_brute_force(self):
+        rng = np.random.default_rng(1)
+        n = 4
+        phases = rng.integers(0, 3, size=1 << n).astype(np.uint8)
+        on_nb, off_nb, dc_nb = neighbor_phase_counts(phases)
+        for x in range(1 << n):
+            nbs = [phases[x ^ (1 << b)] for b in range(n)]
+            assert on_nb[x] == sum(1 for v in nbs if v == ON)
+            assert off_nb[x] == sum(1 for v in nbs if v == OFF)
+            assert dc_nb[x] == sum(1 for v in nbs if v == DC)
+
+    def test_same_phase_counts(self):
+        phases = np.array([ON, ON, OFF, OFF], dtype=np.uint8)
+        # minterm 0: neighbours 1 (ON, same), 2 (OFF, diff) -> 1
+        np.testing.assert_array_equal(
+            same_phase_neighbor_counts(phases), [1, 1, 1, 1]
+        )

@@ -1,0 +1,114 @@
+"""Tests for Monte-Carlo error-rate estimation."""
+
+import numpy as np
+import pytest
+
+from repro.core.montecarlo import MonteCarloEstimate, estimate_error_rate
+from repro.core.reliability import error_rate
+from repro.core.spec import FunctionSpec
+from repro.espresso.cube import Cover
+from repro.synth.network import LogicNetwork
+
+
+def spec_evaluator(spec: FunctionSpec):
+    tables = spec.truth_values()
+
+    def evaluate(vectors: np.ndarray) -> np.ndarray:
+        indices = np.zeros(vectors.shape[0], dtype=np.int64)
+        for j in range(spec.num_inputs):
+            indices |= vectors[:, j].astype(np.int64) << j
+        return tables[:, indices]
+
+    return evaluate
+
+
+class TestAgainstExact:
+    def test_parity(self):
+        idx = np.arange(16)
+        bits = sum(((idx >> b) & 1 for b in range(4)), np.zeros(16, np.int64))
+        spec = FunctionSpec.from_truth_table((bits % 2 == 1)[None, :])
+        estimate = estimate_error_rate(
+            spec_evaluator(spec), 4, samples=2000, rng=np.random.default_rng(1)
+        )
+        assert estimate.rate == pytest.approx(1.0)
+        assert estimate.stderr < 0.01
+
+    def test_random_function_within_ci(self):
+        rng = np.random.default_rng(2)
+        spec = FunctionSpec.from_truth_table(rng.random((3, 256)) < 0.5)
+        exact = error_rate(spec)
+        estimate = estimate_error_rate(
+            spec_evaluator(spec), 8, samples=40_000, rng=np.random.default_rng(3)
+        )
+        lo, hi = estimate.confidence_interval(z=4.0)
+        assert lo <= exact <= hi
+
+    def test_constant(self):
+        spec = FunctionSpec.from_truth_table(np.ones((1, 32)))
+        estimate = estimate_error_rate(
+            spec_evaluator(spec), 5, samples=1000, rng=np.random.default_rng(4)
+        )
+        assert estimate.rate == 0.0
+
+
+class TestSourceFilter:
+    def test_restricting_sources(self):
+        """f = x0 with sources restricted to x1 = 1."""
+        spec = FunctionSpec.from_truth_table(np.array([[0, 1, 0, 1]]))
+
+        def only_x1(vectors):
+            return vectors[:, 1]
+
+        estimate = estimate_error_rate(
+            spec_evaluator(spec), 2, samples=4000,
+            rng=np.random.default_rng(5), source_filter=only_x1,
+        )
+        # Flipping x0 propagates, flipping x1 does not: rate ~ 0.5.
+        assert estimate.rate == pytest.approx(0.5, abs=0.05)
+
+    def test_empty_source_set(self):
+        spec = FunctionSpec.from_truth_table(np.array([[0, 1, 0, 1]]))
+        estimate = estimate_error_rate(
+            spec_evaluator(spec), 2, samples=100,
+            rng=np.random.default_rng(6),
+            source_filter=lambda vectors: np.zeros(vectors.shape[0], dtype=bool),
+        )
+        assert estimate.samples == 0
+        assert estimate.rate == 0.0
+
+
+class TestWideNetwork:
+    def test_24_input_network(self):
+        """Dense enumeration of 2^24 is infeasible; sampling is not."""
+        n = 24
+        names = [f"x{i}" for i in range(n)]
+        net = LogicNetwork(names)
+        # y = AND of the first 3 inputs XOR-ish chain on the rest is
+        # unnecessary; a sparse AND keeps the exact rate computable by hand:
+        # output flips iff the flipped pin is among the first 3 AND the
+        # other two of those are 1 -> rate = (3/24) * (1/4) = 1/32.
+        net.add_node("t", names[:3], Cover.from_strings(["111"]))
+        net.set_output("y", "t")
+
+        def evaluate(vectors):
+            values = net.evaluate_vectors(vectors)
+            return values["t"][None, :]
+
+        estimate = estimate_error_rate(
+            evaluate, n, samples=60_000, rng=np.random.default_rng(7)
+        )
+        assert estimate.rate == pytest.approx(1 / 32, abs=0.005)
+
+
+class TestValidation:
+    def test_bad_parameters(self):
+        with pytest.raises(ValueError, match="num_inputs"):
+            estimate_error_rate(lambda v: v.T, 0, samples=10)
+        with pytest.raises(ValueError, match="samples"):
+            estimate_error_rate(lambda v: v.T, 3, samples=0)
+
+    def test_confidence_interval_clamped(self):
+        estimate = MonteCarloEstimate(rate=0.001, stderr=0.01, samples=10)
+        lo, hi = estimate.confidence_interval()
+        assert lo == 0.0
+        assert hi <= 1.0

@@ -1,0 +1,212 @@
+"""Correctness and quality tests for EXPAND/IRREDUNDANT/REDUCE/ESPRESSO."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.spec import FunctionSpec
+from repro.core.truthtable import DC, OFF, ON
+from repro.espresso.cube import FREE, Cover
+from repro.espresso.expand import expand
+from repro.espresso.irredundant import irredundant
+from repro.espresso.minimize import espresso, minimize_spec
+from repro.espresso.reduce_ import reduce_cover
+from repro.espresso.unate import complement, covers_cover, is_tautology
+
+
+def random_function(seed: int, num_inputs: int, dc_fraction: float = 0.3):
+    """Random (on, dc, off) covers plus dense masks for checking."""
+    rng = np.random.default_rng(seed)
+    care = (1.0 - dc_fraction) / 2.0
+    phases = rng.choice(
+        np.array([OFF, ON, DC], dtype=np.uint8),
+        size=1 << num_inputs,
+        p=[care, care, dc_fraction],
+    )
+    on = Cover.from_minterms(num_inputs, np.flatnonzero(phases == ON))
+    dc = Cover.from_minterms(num_inputs, np.flatnonzero(phases == DC))
+    return phases, on, dc
+
+
+def check_valid(phases: np.ndarray, cover: Cover) -> None:
+    """cover must include the on-set and exclude the off-set."""
+    table = cover.evaluate()
+    assert bool(np.all(table[phases == ON])), "cover misses on-set minterms"
+    assert not bool(np.any(table[phases == OFF])), "cover hits off-set minterms"
+
+
+class TestExpand:
+    def test_expands_to_primes(self):
+        """f = on {11}, dc {01}: single prime -1 (x1)."""
+        on = Cover.from_minterms(2, [3])
+        dc = Cover.from_minterms(2, [1])
+        off = complement(on.union(dc))
+        result = expand(on, off)
+        assert result.cube_strings() == ["1-"]
+
+    def test_drops_covered_cubes(self):
+        on = Cover.from_minterms(2, [0, 1, 2, 3])
+        off = Cover.empty(2)
+        result = expand(on, off)
+        assert result.num_cubes == 1
+        assert result.cube_strings() == ["--"]
+
+    def test_inconsistent_cover_rejected(self):
+        on = Cover.from_minterms(2, [3])
+        off = Cover.from_minterms(2, [3])
+        with pytest.raises(ValueError, match="inconsistent"):
+            expand(on, off)
+
+    @given(st.integers(0, 10**9))
+    @settings(max_examples=40, deadline=None)
+    def test_result_is_prime_and_valid(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(2, 7))
+        phases, on, dc = random_function(seed, n)
+        if on.num_cubes == 0:
+            return
+        off = complement(on.union(dc))
+        result = expand(on, off)
+        check_valid(phases, result)
+        # Primality: raising any literal of any cube must hit the off-set.
+        off_table = off.evaluate()
+        for cube in result.cubes:
+            for j in range(n):
+                if cube[j] == FREE:
+                    continue
+                raised = cube.copy()
+                raised[j] = FREE
+                raised_cover = Cover(raised.reshape(1, -1), n)
+                assert bool(np.any(off_table & raised_cover.evaluate()))
+
+
+class TestIrredundant:
+    def test_removes_redundant_cube(self):
+        cover = Cover.from_strings(["1--", "0--", "-1-"])
+        result = irredundant(cover, Cover.empty(3))
+        assert result.num_cubes == 2
+
+    def test_keeps_needed_cubes(self):
+        cover = Cover.from_strings(["1--", "0-1"])
+        result = irredundant(cover, Cover.empty(3))
+        assert result.num_cubes == 2
+
+    def test_uses_dont_cares(self):
+        """A cube fully inside the DC set is redundant."""
+        cover = Cover.from_strings(["11-", "00-"])
+        dc = Cover.from_strings(["00-"])
+        result = irredundant(cover, dc)
+        assert result.cube_strings() == ["11-"]
+
+    @given(st.integers(0, 10**9))
+    @settings(max_examples=40, deadline=None)
+    def test_preserves_function_within_dc(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(2, 7))
+        phases, on, dc = random_function(seed, n)
+        if on.num_cubes == 0:
+            return
+        result = irredundant(on, dc)
+        # Every on-minterm still covered (possibly via DC), off never hit.
+        table = result.evaluate()
+        dc_table = dc.evaluate()
+        assert bool(np.all(table[phases == ON] | dc_table[phases == ON]))
+        # irredundant only removes cubes, so off-set can't become covered.
+        assert not bool(np.any(table[phases == OFF]))
+
+
+class TestReduce:
+    def test_shrinks_overlapping_cubes(self):
+        """Cover {1-, -1} of OR: reduce shrinks the second cube to 01."""
+        cover = Cover.from_strings(["1-", "-1"])
+        result = reduce_cover(cover, Cover.empty(2))
+        table = result.evaluate()
+        expected = Cover.from_strings(["1-", "-1"]).evaluate()
+        np.testing.assert_array_equal(table, expected)
+        assert result.num_literals > cover.num_literals  # actually reduced
+
+    @given(st.integers(0, 10**9))
+    @settings(max_examples=40, deadline=None)
+    def test_preserves_cover_validity(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(2, 7))
+        phases, on, dc = random_function(seed, n)
+        if on.num_cubes == 0:
+            return
+        result = reduce_cover(on, dc)
+        check_valid(phases, result)
+
+
+class TestEspresso:
+    def test_classic_example(self):
+        """f = sum m(0,1,2,5,6,7) on 3 inputs: minimal SOP has 3 cubes."""
+        on = Cover.from_minterms(3, [0, 1, 2, 5, 6, 7])
+        result = espresso(on)
+        assert result.num_cubes == 3
+        table = result.evaluate()
+        np.testing.assert_array_equal(
+            table, Cover.from_minterms(3, [0, 1, 2, 5, 6, 7]).evaluate()
+        )
+
+    def test_dc_enables_smaller_cover(self):
+        """on {3}, dc {1, 2}: espresso can cover with fewer literals."""
+        on = Cover.from_minterms(2, [3])
+        dc = Cover.from_minterms(2, [1, 2])
+        result = espresso(on, dc)
+        assert result.num_cubes == 1
+        assert result.num_literals == 1
+
+    def test_empty_on_set(self):
+        result = espresso(Cover.empty(3), Cover.universe(3))
+        assert result.num_cubes == 0
+
+    def test_tautology_function(self):
+        result = espresso(Cover.from_minterms(2, [0, 1, 2, 3]))
+        assert result.cube_strings() == ["--"]
+
+    @given(st.integers(0, 10**9))
+    @settings(max_examples=40, deadline=None)
+    def test_valid_on_random_functions(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(2, 8))
+        phases, on, dc = random_function(seed, n, dc_fraction=0.4)
+        if on.num_cubes == 0:
+            return
+        result = espresso(on, dc)
+        check_valid(phases, result)
+
+    @given(st.integers(0, 10**9))
+    @settings(max_examples=25, deadline=None)
+    def test_no_worse_than_input(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(2, 7))
+        phases, on, dc = random_function(seed, n)
+        if on.num_cubes == 0:
+            return
+        result = espresso(on, dc)
+        assert result.num_cubes <= on.num_cubes
+
+
+class TestMinimizeSpec:
+    def test_multi_output(self):
+        spec = FunctionSpec.from_sets(
+            3, on_sets=[[3, 7], [0]], dc_sets=[[1, 2], [4]]
+        )
+        minimized = minimize_spec(spec)
+        assert len(minimized.covers) == 2
+        completed = minimized.completed_spec()
+        assert completed.is_fully_specified
+        assert spec.equivalent_within_dc(completed)
+
+    def test_completed_spec_self_check(self):
+        spec = FunctionSpec.from_sets(2, on_sets=[[0, 3]])
+        minimized = minimize_spec(spec)
+        completed = minimized.completed_spec()
+        np.testing.assert_array_equal(completed.phases, spec.phases)
+
+    def test_totals(self):
+        spec = FunctionSpec.from_sets(3, on_sets=[[3, 7], [0]])
+        minimized = minimize_spec(spec)
+        assert minimized.total_cubes == sum(c.num_cubes for c in minimized.covers)
+        assert minimized.total_literals == sum(c.num_literals for c in minimized.covers)

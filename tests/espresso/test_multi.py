@@ -1,0 +1,106 @@
+"""Tests for multi-output exact minimisation (shared AND plane)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.spec import FunctionSpec
+from repro.core.truthtable import DC, OFF, ON
+from repro.espresso.minimize import minimize_spec
+from repro.espresso.multi import minimize_multi_output
+
+
+class TestSharing:
+    def test_identical_outputs_share_rows(self):
+        """Two identical outputs need no more rows than one."""
+        spec = FunctionSpec.from_sets(3, on_sets=[[3, 7], [3, 7]])
+        result = minimize_multi_output(spec)
+        assert result.proven_optimal
+        assert result.num_product_terms == 1  # cube 11- tagged to both
+        assert result.implements(spec)
+
+    def test_textbook_sharing(self):
+        """f0 = ab, f1 = ab + c: the ab row is shared."""
+        idx = np.arange(8)
+        f0 = ((idx & 1) & ((idx >> 1) & 1)).astype(bool)
+        f1 = f0 | ((idx >> 2) & 1).astype(bool)
+        spec = FunctionSpec.from_truth_table(np.vstack([f0, f1]))
+        result = minimize_multi_output(spec)
+        assert result.proven_optimal
+        assert result.num_product_terms == 2
+        assert result.implements(spec)
+
+    def test_sharing_beats_independent(self):
+        """A function engineered so the shared cover needs fewer distinct
+        rows than the per-output minima summed."""
+        rng = np.random.default_rng(3)
+        base = rng.random(16) < 0.4
+        spec = FunctionSpec.from_truth_table(np.vstack([base, base, base]))
+        shared = minimize_multi_output(spec)
+        independent = minimize_spec(spec)
+        assert shared.num_product_terms <= independent.total_cubes
+        assert shared.num_product_terms * 3 >= independent.total_cubes
+
+    def test_dc_exploited(self):
+        spec = FunctionSpec.from_sets(
+            2, on_sets=[[3], [3]], dc_sets=[[1, 2], [2]]
+        )
+        result = minimize_multi_output(spec)
+        assert result.implements(spec)
+        assert result.num_product_terms == 1
+
+
+class TestEdgeCases:
+    def test_constant_zero_outputs(self):
+        spec = FunctionSpec.from_sets(2, on_sets=[[], []])
+        result = minimize_multi_output(spec)
+        assert result.num_product_terms == 0
+        assert result.implements(spec)
+
+    def test_too_many_outputs_rejected(self):
+        spec = FunctionSpec(np.zeros((11, 4), dtype=np.uint8))
+        with pytest.raises(ValueError, match="outputs exceeds"):
+            minimize_multi_output(spec)
+
+    def test_single_output_matches_qm(self):
+        from repro.espresso.qm import quine_mccluskey
+
+        rng = np.random.default_rng(5)
+        table = rng.random(16) < 0.5
+        spec = FunctionSpec.from_truth_table(table[None, :])
+        multi = minimize_multi_output(spec)
+        exact, optimal = quine_mccluskey(4, np.flatnonzero(table))
+        assert optimal and multi.proven_optimal
+        assert multi.num_product_terms == exact.num_cubes
+
+
+class TestRandomCorrectness:
+    @given(st.integers(0, 10**9))
+    @settings(max_examples=20, deadline=None)
+    def test_implements_spec(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(2, 5))
+        m = int(rng.integers(1, 4))
+        phases = rng.choice(
+            np.array([OFF, ON, DC], dtype=np.uint8), size=(m, 1 << n),
+            p=[0.4, 0.35, 0.25],
+        )
+        spec = FunctionSpec(phases)
+        result = minimize_multi_output(spec)
+        assert result.implements(spec)
+
+    @given(st.integers(0, 10**9))
+    @settings(max_examples=15, deadline=None)
+    def test_never_more_rows_than_independent(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(2, 5))
+        m = int(rng.integers(2, 4))
+        phases = rng.choice(
+            np.array([OFF, ON], dtype=np.uint8), size=(m, 1 << n), p=[0.6, 0.4]
+        )
+        spec = FunctionSpec(phases)
+        shared = minimize_multi_output(spec)
+        independent = minimize_spec(spec)
+        if shared.proven_optimal:
+            assert shared.num_product_terms <= independent.total_cubes

@@ -1,0 +1,108 @@
+"""Property tests for tautology and complement via the URP."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.espresso.cube import Cover
+from repro.espresso.unate import (
+    complement,
+    cover_contains_cube,
+    covers_cover,
+    is_tautology,
+)
+
+
+def random_cover(rng: np.random.Generator, num_inputs: int, num_cubes: int) -> Cover:
+    cubes = rng.choice(
+        np.array([0, 1, 2], dtype=np.uint8),
+        size=(num_cubes, num_inputs),
+        p=[0.25, 0.25, 0.5],
+    )
+    return Cover(cubes, num_inputs)
+
+
+class TestTautology:
+    def test_empty_cover(self):
+        assert not is_tautology(Cover.empty(3))
+
+    def test_universe(self):
+        assert is_tautology(Cover.universe(3))
+
+    def test_x_plus_not_x(self):
+        assert is_tautology(Cover.from_strings(["1--", "0--"]))
+
+    def test_single_literal_not_tautology(self):
+        assert not is_tautology(Cover.from_strings(["1--"]))
+
+    def test_all_minterms(self):
+        cover = Cover.from_minterms(3, range(8))
+        assert is_tautology(cover)
+        assert not is_tautology(Cover.from_minterms(3, range(7)))
+
+    @given(st.integers(0, 10**9))
+    @settings(max_examples=60, deadline=None)
+    def test_matches_dense_evaluation(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(1, 10))
+        k = int(rng.integers(1, 24))
+        cover = random_cover(rng, n, k)
+        assert is_tautology(cover) == bool(cover.evaluate().all())
+
+
+class TestComplement:
+    def test_empty(self):
+        comp = complement(Cover.empty(3))
+        assert comp.evaluate().all()
+
+    def test_universe(self):
+        comp = complement(Cover.universe(3))
+        assert not comp.evaluate().any()
+
+    def test_single_cube(self):
+        comp = complement(Cover.from_strings(["01-"]))
+        expected = ~Cover.from_strings(["01-"]).evaluate()
+        np.testing.assert_array_equal(comp.evaluate(), expected)
+
+    @given(st.integers(0, 10**9))
+    @settings(max_examples=60, deadline=None)
+    def test_complement_is_exact(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(1, 10))
+        k = int(rng.integers(0, 20))
+        cover = random_cover(rng, n, k)
+        comp = complement(cover)
+        np.testing.assert_array_equal(comp.evaluate(), ~cover.evaluate())
+
+    @given(st.integers(0, 10**9))
+    @settings(max_examples=25, deadline=None)
+    def test_double_complement_is_identity(self, seed):
+        rng = np.random.default_rng(seed)
+        cover = random_cover(rng, 7, 10)
+        twice = complement(complement(cover))
+        np.testing.assert_array_equal(twice.evaluate(), cover.evaluate())
+
+
+class TestContainment:
+    def test_cover_contains_cube(self):
+        cover = Cover.from_strings(["1--", "01-"])
+        assert cover_contains_cube(cover, Cover.from_strings(["11-"]).cubes[0])
+        assert cover_contains_cube(cover, Cover.from_strings(["01-"]).cubes[0])
+        assert not cover_contains_cube(cover, Cover.from_strings(["0--"]).cubes[0])
+
+    def test_covers_cover(self):
+        big = Cover.from_strings(["1--", "0--"])
+        small = Cover.from_strings(["-01", "11-"])
+        assert covers_cover(big, small)
+        assert not covers_cover(small, big)
+
+    @given(st.integers(0, 10**9))
+    @settings(max_examples=40, deadline=None)
+    def test_containment_matches_dense(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(1, 8))
+        cover = random_cover(rng, n, int(rng.integers(1, 10)))
+        probe = random_cover(rng, n, 1)
+        dense = bool(np.all(cover.evaluate()[probe.evaluate()]))
+        assert cover_contains_cube(cover, probe.cubes[0]) == dense

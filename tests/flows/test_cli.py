@@ -1,0 +1,102 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.core.spec import FunctionSpec
+from repro.core.truthtable import DC, OFF, ON
+from repro.pla import read_pla, write_pla
+
+
+@pytest.fixture
+def pla_file(tmp_path):
+    rng = np.random.default_rng(5)
+    phases = rng.choice(
+        np.array([OFF, ON, DC], dtype=np.uint8), size=(2, 64), p=[0.3, 0.3, 0.4]
+    )
+    spec = FunctionSpec(phases, name="clitest")
+    path = tmp_path / "clitest.pla"
+    write_pla(spec, path)
+    return str(path)
+
+
+class TestCli:
+    def test_info(self, pla_file, capsys):
+        assert main(["info", pla_file]) == 0
+        out = capsys.readouterr().out
+        assert "inputs" in out
+        assert "C^f" in out
+
+    def test_info_registry_name(self, capsys):
+        assert main(["info", "bench"]) == 0
+        out = capsys.readouterr().out
+        assert "inputs" in out
+        assert "6" in out  # bench has 6 inputs
+
+    def test_unknown_benchmark(self):
+        with pytest.raises(SystemExit):
+            main(["info", "does-not-exist"])
+
+    def test_assign_writes_pla(self, pla_file, tmp_path, capsys):
+        out_path = str(tmp_path / "assigned.pla")
+        assert main([
+            "assign", pla_file, "--policy", "ranking", "--fraction", "0.5",
+            "-o", out_path,
+        ]) == 0
+        original = read_pla(pla_file)
+        assigned = read_pla(out_path)
+        assert np.count_nonzero(assigned.phases == DC) < np.count_nonzero(
+            original.phases == DC
+        )
+        # The partial assignment only decides DC entries: care sets agree.
+        care = original.care_mask()
+        assert bool(np.all(assigned.phases[care] == original.phases[care]))
+        assert "decided" in capsys.readouterr().out
+
+    def test_synth(self, pla_file, capsys):
+        assert main(["synth", pla_file, "--objective", "area"]) == 0
+        out = capsys.readouterr().out
+        assert "area" in out
+        assert "error rate" in out
+
+    def test_estimate(self, pla_file, capsys):
+        assert main(["estimate", pla_file]) == 0
+        out = capsys.readouterr().out
+        assert "border/Poisson" in out
+        assert "signal-probability" in out
+
+    def test_sweep(self, pla_file, capsys):
+        assert main(["sweep", pla_file, "--points", "3", "--objective", "area"]) == 0
+        out = capsys.readouterr().out
+        assert "fraction" in out
+        assert out.count("\n") >= 4
+
+    def test_gen(self, tmp_path, capsys):
+        out_path = str(tmp_path / "gen.pla")
+        assert main([
+            "gen", "--inputs", "7", "--outputs", "2", "--cf", "0.6",
+            "--dc", "0.5", "-o", out_path,
+        ]) == 0
+        spec = read_pla(out_path)
+        assert spec.num_inputs == 7
+        assert spec.num_outputs == 2
+        assert "generated" in capsys.readouterr().out
+
+
+class TestCliExtensions:
+    def test_nodal(self, pla_file, capsys):
+        assert main(["nodal", pla_file, "--policy", "cfactor"]) == 0
+        out = capsys.readouterr().out
+        assert "internal error before" in out
+
+    def test_nodal_with_renode(self, pla_file, capsys):
+        assert main(["nodal", pla_file, "--renode", "--k", "4"]) == 0
+        assert "nodes" in capsys.readouterr().out
+
+    def test_synth_verilog(self, pla_file, tmp_path, capsys):
+        out_v = str(tmp_path / "out.v")
+        assert main(["synth", pla_file, "--objective", "area",
+                     "--verilog", out_v]) == 0
+        text = open(out_v).read()
+        assert "module" in text and "endmodule" in text

@@ -1,0 +1,52 @@
+"""Tests for CSV export of figure/table data."""
+
+import csv
+
+import pytest
+
+from repro.cli import main
+from repro.flows.export import (
+    export_all,
+    export_fraction_sweep,
+    export_table1,
+    export_table3,
+)
+
+
+def read_csv(path):
+    with open(path, newline="") as handle:
+        return list(csv.reader(handle))
+
+
+class TestExport:
+    def test_table1(self, tmp_path):
+        path = export_table1(tmp_path, ["bench", "fout"])
+        rows = read_csv(path)
+        assert rows[0][0] == "name"
+        assert {row[0] for row in rows[1:]} == {"bench", "fout"}
+        assert all(len(row) == 6 for row in rows)
+
+    def test_fraction_sweep(self, tmp_path):
+        path = export_fraction_sweep(tmp_path, ["bench"], [0.0, 1.0], "area")
+        rows = read_csv(path)
+        assert len(rows) == 3  # header + 2 fractions
+        assert float(rows[1][2]) == pytest.approx(1.0)  # fraction 0 baseline
+
+    def test_table3(self, tmp_path):
+        path = export_table3(tmp_path, ["bench"])
+        rows = read_csv(path)
+        header = rows[0]
+        data = dict(zip(header, rows[1]))
+        assert float(data["exact_lo"]) <= float(data["conv_rate"]) + 1e-9
+
+    def test_export_all(self, tmp_path):
+        paths = export_all(tmp_path, names=["bench"], fractions=[0.0, 1.0])
+        assert len(paths) == 4
+        for path in paths:
+            assert path.exists()
+            assert len(read_csv(path)) >= 2
+
+    def test_cli_export(self, tmp_path, capsys):
+        assert main(["export", str(tmp_path), "--benchmarks", "bench"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("wrote") == 4

@@ -1,0 +1,124 @@
+"""Tests for BLIF network I/O."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.espresso.cube import Cover
+from repro.pla.blif import (
+    BlifError,
+    network_to_blif,
+    parse_blif,
+    read_blif,
+    write_blif,
+)
+from repro.synth.network import LogicNetwork
+
+SIMPLE = """\
+# a two-node network
+.model demo
+.inputs a b c
+.outputs y
+.names a b t
+11 1
+.names t c y
+1- 1
+-1 1
+.end
+"""
+
+
+class TestParser:
+    def test_simple_network(self):
+        net = parse_blif(SIMPLE)
+        assert net.primary_inputs == ["a", "b", "c"]
+        assert set(net.outputs) == {"y"}
+        idx = np.arange(8)
+        expected = (((idx & 1) & ((idx >> 1) & 1)) | ((idx >> 2) & 1)).astype(bool)
+        np.testing.assert_array_equal(net.output_table()[0], expected)
+
+    def test_forward_references(self):
+        """.names blocks may appear in any order."""
+        text = """\
+.inputs a b
+.outputs y
+.names t a y
+11 1
+.names a b t
+11 1
+.end
+"""
+        net = parse_blif(text)
+        assert "t" in net.nodes
+
+    def test_off_set_block_complemented(self):
+        """Output column 0 describes the off-set (SIS convention)."""
+        text = ".inputs a b\n.outputs y\n.names a b y\n11 0\n.end\n"
+        net = parse_blif(text)
+        np.testing.assert_array_equal(
+            net.output_table()[0], [True, True, True, False]
+        )
+
+    def test_constant_nodes(self):
+        text = ".inputs a\n.outputs one zero\n.names one\n1\n.names zero\n.end\n"
+        net = parse_blif(text)
+        table = net.output_table()
+        assert table[0].all()
+        assert not table[1].any()
+
+    def test_line_continuation(self):
+        text = ".inputs a \\\nb\n.outputs y\n.names a b y\n11 1\n.end\n"
+        net = parse_blif(text)
+        assert net.primary_inputs == ["a", "b"]
+
+    def test_errors(self):
+        with pytest.raises(BlifError, match="unsupported construct"):
+            parse_blif(".inputs a\n.latch a b\n.end\n")
+        with pytest.raises(BlifError, match="wrong width"):
+            parse_blif(".inputs a b\n.outputs y\n.names a y\n11 1\n.end\n")
+        with pytest.raises(BlifError, match="mixed"):
+            parse_blif(".inputs a\n.outputs y\n.names a y\n1 1\n0 0\n.end\n")
+        with pytest.raises(BlifError, match="undefined or cyclic"):
+            parse_blif(".inputs a\n.outputs y\n.names zzz y\n1 1\n.end\n")
+        with pytest.raises(BlifError, match="outside"):
+            parse_blif(".inputs a\n11 1\n.end\n")
+
+
+class TestWriter:
+    def test_round_trip_simple(self):
+        net = parse_blif(SIMPLE)
+        again = parse_blif(network_to_blif(net))
+        np.testing.assert_array_equal(again.output_table(), net.output_table())
+
+    def test_file_round_trip(self, tmp_path):
+        net = parse_blif(SIMPLE)
+        path = tmp_path / "demo.blif"
+        write_blif(net, path, model="demo")
+        again = read_blif(path)
+        np.testing.assert_array_equal(again.output_table(), net.output_table())
+        assert ".model demo" in path.read_text()
+
+    def test_buffer_for_renamed_output(self):
+        net = LogicNetwork(["a", "b"])
+        net.add_node("t", ["a", "b"], Cover.from_strings(["11"]))
+        net.set_output("y", "t")
+        text = network_to_blif(net)
+        again = parse_blif(text)
+        np.testing.assert_array_equal(again.output_table(), net.output_table())
+
+    @given(st.integers(0, 10**9))
+    @settings(max_examples=20, deadline=None)
+    def test_round_trip_random(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(2, 5))
+        names = [f"x{i}" for i in range(n)]
+        net = LogicNetwork(names)
+        for t in range(int(rng.integers(1, 4))):
+            k = int(rng.integers(1, 5))
+            rows = rng.choice([0, 1, 2], size=(k, n), p=[0.3, 0.3, 0.4]).astype(np.uint8)
+            net.add_node(f"t{t}", names, Cover(rows, n))
+            net.set_output(f"y{t}", f"t{t}")
+        again = parse_blif(network_to_blif(net))
+        np.testing.assert_array_equal(again.output_table(), net.output_table())
+        assert list(again.outputs) == list(net.outputs)

@@ -1,0 +1,124 @@
+"""Tests for the CNF SAT solver."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sat.solver import SatSolver
+
+
+def check_model(clauses, model) -> bool:
+    return all(
+        any(model[abs(l)] == (l > 0) for l in clause) for clause in clauses
+    )
+
+
+class TestBasics:
+    def test_empty_formula_is_sat(self):
+        sat, model = SatSolver().solve()
+        assert sat
+
+    def test_unit_clauses(self):
+        solver = SatSolver()
+        solver.add_clause([1])
+        solver.add_clause([-2])
+        sat, model = solver.solve()
+        assert sat
+        assert model[1] is True
+        assert model[2] is False
+
+    def test_simple_unsat(self):
+        solver = SatSolver()
+        solver.add_clause([1])
+        solver.add_clause([-1])
+        sat, _ = solver.solve()
+        assert not sat
+
+    def test_requires_propagation(self):
+        solver = SatSolver()
+        solver.add_clause([1, 2])
+        solver.add_clause([-1, 2])
+        solver.add_clause([1, -2])
+        sat, model = solver.solve()
+        assert sat
+        assert model[1] and model[2]
+
+    def test_three_var_unsat(self):
+        """All eight sign combinations of (x1, x2, x3): unsatisfiable."""
+        solver = SatSolver()
+        for mask in range(8):
+            clause = [(1 if (mask >> i) & 1 else -1) * (i + 1) for i in range(3)]
+            solver.add_clause(clause)
+        sat, _ = solver.solve()
+        assert not sat
+
+    def test_tautological_clause_ignored(self):
+        solver = SatSolver()
+        solver.add_clause([1, -1])
+        solver.add_clause([2])
+        sat, model = solver.solve()
+        assert sat and model[2]
+
+    def test_bad_clauses_rejected(self):
+        solver = SatSolver()
+        with pytest.raises(ValueError, match="empty"):
+            solver.add_clause([])
+        with pytest.raises(ValueError, match="literal 0"):
+            solver.add_clause([0])
+
+
+class TestAssumptions:
+    def test_assumptions_restrict(self):
+        solver = SatSolver()
+        solver.add_clause([1, 2])
+        sat, model = solver.solve(assumptions=[-1])
+        assert sat
+        assert model[2] is True
+        sat, _ = solver.solve(assumptions=[-1, -2])
+        assert not sat
+
+
+class TestPigeonhole:
+    def test_php_3_into_2_unsat(self):
+        """Three pigeons, two holes: classic small UNSAT instance."""
+        solver = SatSolver()
+        def var(p, h):
+            return p * 2 + h + 1
+        for p in range(3):
+            solver.add_clause([var(p, 0), var(p, 1)])
+        for h in range(2):
+            for p1 in range(3):
+                for p2 in range(p1 + 1, 3):
+                    solver.add_clause([-var(p1, h), -var(p2, h)])
+        sat, _ = solver.solve()
+        assert not sat
+
+
+class TestRandomFormulas:
+    @given(st.integers(0, 10**9))
+    @settings(max_examples=40, deadline=None)
+    def test_agrees_with_brute_force(self, seed):
+        rng = np.random.default_rng(seed)
+        num_vars = int(rng.integers(2, 8))
+        num_clauses = int(rng.integers(1, 24))
+        clauses = []
+        for _ in range(num_clauses):
+            width = int(rng.integers(1, min(4, num_vars + 1)))
+            variables = rng.choice(num_vars, size=width, replace=False) + 1
+            clause = [int(v) * (1 if rng.random() < 0.5 else -1) for v in variables]
+            clauses.append(clause)
+        solver = SatSolver()
+        for clause in clauses:
+            solver.add_clause(clause)
+        sat, model = solver.solve()
+        brute = any(
+            all(
+                any(((assignment >> (abs(l) - 1)) & 1) == (l > 0) for l in clause)
+                for clause in clauses
+            )
+            for assignment in range(1 << num_vars)
+        )
+        assert sat == brute
+        if sat:
+            assert check_model(clauses, model)

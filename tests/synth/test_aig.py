@@ -1,0 +1,135 @@
+"""Tests for the AIG optimiser (the ABC resyn2rs stand-in)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.spec import FunctionSpec
+from repro.espresso.cube import Cover
+from repro.synth.aig import Aig, aig_from_network, resyn2rs
+from repro.synth.network import LogicNetwork
+
+
+def random_network(seed: int, n: int = 4, num_nodes: int = 2) -> LogicNetwork:
+    rng = np.random.default_rng(seed)
+    names = [f"x{i}" for i in range(n)]
+    net = LogicNetwork(names)
+    for t in range(num_nodes):
+        k = int(rng.integers(1, 6))
+        rows = rng.choice([0, 1, 2], size=(k, n), p=[0.3, 0.3, 0.4]).astype(np.uint8)
+        net.add_node(f"t{t}", names, Cover(rows, n))
+        net.set_output(f"y{t}", f"t{t}")
+    return net
+
+
+class TestLiterals:
+    def test_encoding(self):
+        aig = Aig(2)
+        assert aig.const0 == 0
+        assert aig.const1 == 1
+        assert aig.pi_lit(0) == 2
+        assert Aig.lit_not(2) == 3
+        assert Aig.lit_node(5) == 2
+        assert Aig.lit_phase(5) == 1
+
+    def test_pi_range_checked(self):
+        with pytest.raises(ValueError):
+            Aig(2).pi_lit(2)
+
+
+class TestAndSimplification:
+    def test_constants(self):
+        aig = Aig(1)
+        a = aig.pi_lit(0)
+        assert aig.and_(a, aig.const0) == aig.const0
+        assert aig.and_(a, aig.const1) == a
+        assert aig.and_(a, a) == a
+        assert aig.and_(a, Aig.lit_not(a)) == aig.const0
+        assert aig.num_ands == 0
+
+    def test_strashing(self):
+        aig = Aig(2)
+        a, b = aig.pi_lit(0), aig.pi_lit(1)
+        assert aig.and_(a, b) == aig.and_(b, a)
+        assert aig.num_ands == 1
+
+    def test_or_demorgan(self):
+        aig = Aig(2)
+        a, b = aig.pi_lit(0), aig.pi_lit(1)
+        aig.set_output("y", aig.or_(a, b))
+        table = aig.evaluate()["y"]
+        np.testing.assert_array_equal(table, [False, True, True, True])
+
+
+class TestEvaluation:
+    def test_xor_structure(self):
+        aig = Aig(2)
+        a, b = aig.pi_lit(0), aig.pi_lit(1)
+        xor = aig.or_(aig.and_(a, Aig.lit_not(b)), aig.and_(Aig.lit_not(a), b))
+        aig.set_output("y", xor)
+        np.testing.assert_array_equal(aig.evaluate()["y"], [False, True, True, False])
+
+    def test_depth(self):
+        aig = Aig(4)
+        lits = [aig.pi_lit(i) for i in range(4)]
+        chain = lits[0]
+        for lit in lits[1:]:
+            chain = aig.and_(chain, lit)
+        aig.set_output("y", chain)
+        assert aig.depth() == 3
+        balanced = aig.balanced()
+        assert balanced.depth() == 2
+        np.testing.assert_array_equal(balanced.evaluate()["y"], aig.evaluate()["y"])
+
+
+class TestNetworkBridge:
+    @given(st.integers(0, 10**9))
+    @settings(max_examples=20, deadline=None)
+    def test_round_trip_preserves_function(self, seed):
+        net = random_network(seed)
+        aig = aig_from_network(net)
+        np.testing.assert_array_equal(
+            np.vstack(list(aig.evaluate().values())), net.output_table()
+        )
+        back = aig.to_network()
+        np.testing.assert_array_equal(back.output_table(), net.output_table())
+
+    def test_constant_outputs(self):
+        net = LogicNetwork(["a"])
+        net.add_node("zero", ["a"], Cover.empty(1))
+        net.set_output("y", "zero")
+        aig = aig_from_network(net)
+        assert aig.outputs["y"] == aig.const0
+        back = aig.to_network()
+        np.testing.assert_array_equal(back.output_table()[0], [False, False])
+
+
+class TestResyn:
+    @given(st.integers(0, 10**9))
+    @settings(max_examples=15, deadline=None)
+    def test_resyn2rs_preserves_function(self, seed):
+        net = random_network(seed, n=5, num_nodes=3)
+        aig = aig_from_network(net)
+        optimized = resyn2rs(aig)
+        before = aig.evaluate()
+        after = optimized.evaluate()
+        for name in before:
+            np.testing.assert_array_equal(after[name], before[name])
+
+    def test_resyn2rs_never_grows(self):
+        net = random_network(123, n=5, num_nodes=3)
+        aig = aig_from_network(net)
+        optimized = resyn2rs(aig)
+        assert optimized.num_ands <= aig.num_ands + 2  # balancing slack
+
+    def test_collapse_refactor_shares_logic(self):
+        """Two identical outputs collapse to shared structure."""
+        net = LogicNetwork(["a", "b", "c"])
+        cover = Cover.from_strings(["11-", "--1"])
+        net.add_node("t0", ["a", "b", "c"], cover)
+        net.add_node("t1", ["a", "b", "c"], cover)
+        net.set_output("y0", "t0")
+        net.set_output("y1", "t1")
+        collapsed = aig_from_network(net).collapse_refactor()
+        assert collapsed.outputs["y0"] == collapsed.outputs["y1"]

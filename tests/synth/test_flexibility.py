@@ -1,0 +1,86 @@
+"""Tests for simulation+SAT flexibility extraction."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.espresso.cube import Cover
+from repro.synth.flexibility import node_flexibility_sat
+from repro.synth.network import LogicNetwork
+from repro.synth.odc import node_flexibility
+
+
+def random_multilevel(seed: int, n: int = 5) -> LogicNetwork:
+    rng = np.random.default_rng(seed)
+    names = [f"x{i}" for i in range(n)]
+    net = LogicNetwork(names)
+    rows = rng.choice([0, 1, 2], size=(3, n), p=[0.3, 0.3, 0.4]).astype(np.uint8)
+    net.add_node("t0", names, Cover(rows, n))
+    rows2 = rng.choice([0, 1, 2], size=(2, 3), p=[0.3, 0.3, 0.4]).astype(np.uint8)
+    net.add_node("t1", ["t0", "x0", "x1"], Cover(rows2, 3))
+    rows3 = rng.choice([0, 1, 2], size=(2, 2), p=[0.35, 0.35, 0.3]).astype(np.uint8)
+    net.add_node("t2", ["t1", "x2"], Cover(rows3, 2))
+    net.set_output("y", "t2")
+    net.set_output("z", "t0")
+    return net
+
+
+class TestAgainstExhaustive:
+    @given(st.integers(0, 10**9))
+    @settings(max_examples=12, deadline=None)
+    def test_matches_exhaustive_odc(self, seed):
+        """SAT-based flexibility equals the exhaustive computation."""
+        net = random_multilevel(seed)
+        for name in list(net.nodes):
+            exact = node_flexibility(net, name)
+            via_sat = node_flexibility_sat(
+                net, name, simulation_vectors=64, rng=np.random.default_rng(seed)
+            )
+            np.testing.assert_array_equal(via_sat.phases, exact.phases, err_msg=name)
+
+    def test_few_simulation_vectors_still_exact(self):
+        """Even with almost no simulation, SAT confirmation keeps the
+        result exact (simulation is only an accelerator)."""
+        net = random_multilevel(3)
+        for name in list(net.nodes):
+            exact = node_flexibility(net, name)
+            via_sat = node_flexibility_sat(
+                net, name, simulation_vectors=2, rng=np.random.default_rng(0)
+            )
+            np.testing.assert_array_equal(via_sat.phases, exact.phases)
+
+
+class TestKnownCases:
+    def test_blocked_node_fully_flexible(self):
+        """t feeding an AND with constant 0 is never observable."""
+        net = LogicNetwork(["a", "b", "c"])
+        net.add_node("czero", ["c"], Cover.empty(1))
+        net.add_node("t", ["a", "b"], Cover.from_strings(["11"]))
+        net.add_node("y", ["t", "czero"], Cover.from_strings(["11"]))
+        net.set_output("out", "y")
+        local = node_flexibility_sat(net, "t")
+        assert list(local.dc_set(0)) == [0, 1, 2, 3]
+
+    def test_po_node_fully_observable(self):
+        net = LogicNetwork(["a", "b"])
+        net.add_node("t", ["a", "b"], Cover.from_strings(["1-", "-1"]))
+        net.set_output("out", "t")
+        local = node_flexibility_sat(net, "t")
+        assert local.dc_set(0).size == 0
+
+    def test_sdc_detected(self):
+        """Complementary fanins make patterns 00 and 11 unreachable."""
+        net = LogicNetwork(["a"])
+        net.add_node("p", ["a"], Cover.from_strings(["1"]))
+        net.add_node("q", ["a"], Cover.from_strings(["0"]))
+        net.add_node("t", ["p", "q"], Cover.from_strings(["11", "00"]))
+        net.set_output("out", "t")
+        local = node_flexibility_sat(net, "t")
+        assert 0 in local.dc_set(0)
+        assert 3 in local.dc_set(0)
+
+    def test_unknown_node(self):
+        net = LogicNetwork(["a"])
+        with pytest.raises(KeyError):
+            node_flexibility_sat(net, "missing")

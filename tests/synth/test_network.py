@@ -1,0 +1,107 @@
+"""Tests for the Boolean network model."""
+
+import numpy as np
+import pytest
+
+from repro.core.spec import FunctionSpec
+from repro.espresso.cube import Cover
+from repro.synth.network import LogicNetwork
+
+
+def simple_network() -> LogicNetwork:
+    """y = (a & b) | c, built as two nodes."""
+    net = LogicNetwork(["a", "b", "c"])
+    net.add_node("t1", ["a", "b"], Cover.from_strings(["11"]))
+    net.add_node("t2", ["t1", "c"], Cover.from_strings(["1-", "-1"]))
+    net.set_output("y", "t2")
+    return net
+
+
+class TestConstruction:
+    def test_duplicate_pi_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            LogicNetwork(["a", "a"])
+
+    def test_undefined_fanin_rejected(self):
+        net = LogicNetwork(["a"])
+        with pytest.raises(ValueError, match="undefined fanin"):
+            net.add_node("t", ["zzz"], Cover.from_strings(["1"]))
+
+    def test_duplicate_node_rejected(self):
+        net = LogicNetwork(["a"])
+        net.add_node("t", ["a"], Cover.from_strings(["1"]))
+        with pytest.raises(ValueError, match="already defined"):
+            net.add_node("t", ["a"], Cover.from_strings(["0"]))
+
+    def test_arity_mismatch_rejected(self):
+        net = LogicNetwork(["a", "b"])
+        with pytest.raises(ValueError, match="arity"):
+            net.add_node("t", ["a"], Cover.from_strings(["11"]))
+
+    def test_output_requires_signal(self):
+        net = LogicNetwork(["a"])
+        with pytest.raises(ValueError, match="undefined signal"):
+            net.set_output("y", "nope")
+
+    def test_fresh_names_unique(self):
+        net = LogicNetwork(["a"])
+        names = {net.fresh_name() for _ in range(10)}
+        assert len(names) == 10
+
+
+class TestEvaluation:
+    def test_simple_function(self):
+        net = simple_network()
+        spec = net.to_spec()
+        # y = (a & b) | c with a=bit0, b=bit1, c=bit2.
+        idx = np.arange(8)
+        expected = ((idx & 1) & ((idx >> 1) & 1)) | ((idx >> 2) & 1)
+        np.testing.assert_array_equal(spec.phases[0], expected.astype(np.uint8))
+
+    def test_implements(self):
+        net = simple_network()
+        idx = np.arange(8)
+        table = (((idx & 1) & ((idx >> 1) & 1)) | ((idx >> 2) & 1)).astype(bool)
+        assert net.implements(FunctionSpec.from_truth_table(table[None, :]))
+
+    def test_pi_passthrough_output(self):
+        net = LogicNetwork(["a", "b"])
+        net.set_output("y", "a")
+        table = net.output_table()
+        np.testing.assert_array_equal(table[0], [False, True, False, True])
+
+    def test_cycle_detection(self):
+        net = LogicNetwork(["a"])
+        net.add_node("t1", ["a"], Cover.from_strings(["1"]))
+        net.add_node("t2", ["t1"], Cover.from_strings(["1"]))
+        # Manufacture a cycle behind the API's back.
+        net.nodes["t1"].fanins = ["t2"]
+        with pytest.raises(ValueError, match="cycle"):
+            net.topological_order()
+
+
+class TestHousekeeping:
+    def test_from_covers(self):
+        covers = [Cover.from_strings(["11"]), Cover.from_strings(["0-"])]
+        net = LogicNetwork.from_covers(["a", "b"], covers, ["y0", "y1"])
+        assert len(net.outputs) == 2
+        table = net.output_table()
+        np.testing.assert_array_equal(table[0], [False, False, False, True])
+        np.testing.assert_array_equal(table[1], [True, False, True, False])
+
+    def test_sweep_dangling(self):
+        net = simple_network()
+        net.add_node("dead", ["a"], Cover.from_strings(["1"]))
+        assert net.sweep_dangling() == 1
+        assert "dead" not in net.nodes
+        assert "t1" in net.nodes  # still referenced
+
+    def test_literal_count(self):
+        net = simple_network()
+        assert net.num_literals == 4
+
+    def test_fanouts(self):
+        net = simple_network()
+        fanouts = net.fanouts()
+        assert fanouts["t1"] == ["t2"]
+        assert fanouts["a"] == ["t1"]

@@ -1,0 +1,115 @@
+"""Tests for k-feasible re-noding (the ABC 'renode' stand-in)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.espresso.cube import Cover
+from repro.synth.network import LogicNetwork
+from repro.synth.renode import enumerate_cuts, renode
+from repro.synth.subject import SubjectGraph, build_subject_graph
+
+
+def random_network(seed: int, n: int = 5, num_nodes: int = 3) -> LogicNetwork:
+    rng = np.random.default_rng(seed)
+    names = [f"x{i}" for i in range(n)]
+    net = LogicNetwork(names)
+    for t in range(num_nodes):
+        kcubes = int(rng.integers(1, 6))
+        rows = rng.choice([0, 1, 2], size=(kcubes, n), p=[0.3, 0.3, 0.4]).astype(np.uint8)
+        net.add_node(f"t{t}", names, Cover(rows, n))
+        net.set_output(f"y{t}", f"t{t}")
+    return net
+
+
+class TestCutEnumeration:
+    def test_trivial_cuts_everywhere(self):
+        graph = SubjectGraph()
+        a, b = graph.pi("a"), graph.pi("b")
+        top = graph.nand(a, b)
+        graph.set_output("y", top)
+        cuts = enumerate_cuts(graph, 4)
+        for ref in (a, b, top):
+            assert (frozenset({ref}), 0) in cuts[ref]
+
+    def test_nand_merges_fanin_cuts(self):
+        graph = SubjectGraph()
+        a, b, c = graph.pi("a"), graph.pi("b"), graph.pi("c")
+        inner = graph.nand(a, b)
+        top = graph.nand(inner, c)
+        cuts = enumerate_cuts(graph, 3)
+        leaf_sets = {cut for cut, _ in cuts[top]}
+        assert frozenset({a, b, c}) in leaf_sets
+
+    def test_width_bound_respected(self):
+        graph = SubjectGraph()
+        pis = [graph.pi(f"x{i}") for i in range(6)]
+        top = pis[0]
+        for pi in pis[1:]:
+            top = graph.nand(graph.inv(top), graph.inv(pi))
+        graph.set_output("y", top)
+        for k in (2, 3, 4):
+            cuts = enumerate_cuts(graph, k)
+            for per_node in cuts.values():
+                for cut, _ in per_node:
+                    assert len(cut) <= k
+
+    def test_k_validation(self):
+        graph = SubjectGraph()
+        graph.pi("a")
+        with pytest.raises(ValueError, match=">= 2"):
+            enumerate_cuts(graph, 1)
+
+
+class TestRenode:
+    def test_preserves_function(self):
+        net = random_network(1)
+        for k in (3, 5, 8):
+            rn = renode(net, k)
+            np.testing.assert_array_equal(rn.output_table(), net.output_table())
+
+    def test_fanin_bound(self):
+        net = random_network(2, n=6, num_nodes=2)
+        for k in (3, 4, 6):
+            rn = renode(net, k)
+            assert all(len(node.fanins) <= k for node in rn.nodes.values())
+
+    def test_larger_k_coarsens(self):
+        """Bigger cuts swallow more logic: node count must not grow."""
+        net = random_network(3, n=6, num_nodes=3)
+        sizes = [len(renode(net, k).nodes) for k in (3, 5, 8)]
+        assert sizes[-1] <= sizes[0]
+
+    def test_constant_output(self):
+        net = LogicNetwork(["a"])
+        net.add_node("zero", ["a"], Cover.empty(1))
+        net.set_output("y", "zero")
+        rn = renode(net, 4)
+        np.testing.assert_array_equal(rn.output_table(), net.output_table())
+
+    def test_passthrough_output(self):
+        net = LogicNetwork(["a", "b"])
+        net.set_output("y", "a")
+        rn = renode(net, 4)
+        np.testing.assert_array_equal(rn.output_table(), net.output_table())
+
+    @given(st.integers(0, 10**9))
+    @settings(max_examples=15, deadline=None)
+    def test_random_equivalence(self, seed):
+        net = random_network(seed, n=5, num_nodes=2)
+        rn = renode(net, 4)
+        np.testing.assert_array_equal(rn.output_table(), net.output_table())
+        assert all(len(node.fanins) <= 4 for node in rn.nodes.values())
+
+    def test_renode_exposes_internal_dcs(self):
+        """Coarse nodes expose flexibility for the Sec. 4 reassignment."""
+        from repro.synth.odc import reassign_internal_dcs
+
+        rng = np.random.default_rng(9)
+        net = random_network(9, n=7, num_nodes=4)
+        rn = renode(net, 5)
+        reference = rn.output_table().copy()
+        report = reassign_internal_dcs(rn, policy="cfactor", threshold=1.0)
+        np.testing.assert_array_equal(rn.output_table(), reference)
+        assert report.dc_entries_assigned >= 0
