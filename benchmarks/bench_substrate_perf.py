@@ -4,21 +4,68 @@ Throughput of the load-bearing substrate pieces (ESPRESSO, the BDD
 manager, the technology mapper, the reliability metrics).  These are true
 pytest-benchmark timings (multiple rounds), useful for catching
 performance regressions in the algorithms everything else sweeps over.
+
+Results are also persisted to ``BENCH_substrate.json`` at the repo root
+(see :data:`BENCH_FILE`), so the perf trajectory is tracked across PRs:
+each run rewrites the file with the current machine's numbers plus the
+speedup against the recorded seed-commit baseline.
 """
+
+import json
+import os
+import time
+from pathlib import Path
 
 import numpy as np
 import pytest
 
 from repro.bdd import BddManager
 from repro.benchgen import mcnc_benchmark
+from repro.benchgen.synthetic import generate_spec
 from repro.core.complexity import local_complexity_factor
 from repro.core.reliability import error_events
 from repro.espresso.cube import Cover
 from repro.espresso.minimize import espresso
+from repro.flows.sweep import fraction_sweep
+from repro.perf import configure_cache, reset_cache
 from repro.synth.library import generic_70nm_library
 from repro.synth.mapping import map_graph
 from repro.synth.network import LogicNetwork
 from repro.synth.subject import build_subject_graph
+
+BENCH_FILE = Path(__file__).resolve().parent.parent / "BENCH_substrate.json"
+
+SEED_ESPRESSO_N9_SECONDS = 0.148
+"""ESPRESSO wall-clock on the n=9 random function at the seed commit
+(pre bit-parallel kernels), measured on the reference container."""
+
+_RESULTS: dict = {}
+
+
+def _available_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def _timings(benchmark):
+    """(mean, min) seconds, or (None, None) under ``--benchmark-disable``."""
+    stats = getattr(benchmark, "stats", None)
+    if stats is None:
+        return None, None
+    return stats.stats.mean, stats.stats.min
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _persist_results():
+    """Write everything the benchmarks recorded to BENCH_substrate.json."""
+    _RESULTS.clear()
+    _RESULTS["generated_by"] = "benchmarks/bench_substrate_perf.py"
+    _RESULTS["cpus"] = _available_cpus()
+    yield
+    if len(_RESULTS) > 2:
+        BENCH_FILE.write_text(json.dumps(_RESULTS, indent=2, sort_keys=True) + "\n")
 
 
 @pytest.fixture(scope="module")
@@ -32,9 +79,83 @@ def random_function():
 
 
 def test_espresso_throughput(benchmark, random_function):
+    """Cold-path ESPRESSO throughput (memoisation disabled while timing)."""
     on, dc = random_function
+
+    def run_cold():
+        configure_cache(enabled=False)
+        try:
+            return espresso(on, dc)
+        finally:
+            configure_cache(enabled=True)
+
+    cover = benchmark(run_cold)
+    assert cover.num_cubes > 0
+    mean, fastest = _timings(benchmark)
+    if fastest is None:
+        return
+    # Judge the speedup on the min: on a loaded box the mean absorbs
+    # scheduler noise, while the min tracks the actual cost of the kernels.
+    speedup = SEED_ESPRESSO_N9_SECONDS / fastest
+    _RESULTS["espresso_n9"] = {
+        "mean_seconds": mean,
+        "min_seconds": fastest,
+        "seed_baseline_seconds": SEED_ESPRESSO_N9_SECONDS,
+        "speedup_vs_seed": speedup,
+    }
+    assert speedup >= 3.0, (
+        f"packed kernels regressed: {speedup:.2f}x vs seed baseline "
+        f"({fastest * 1e3:.1f} ms against {SEED_ESPRESSO_N9_SECONDS * 1e3:.0f} ms)"
+    )
+
+
+def test_espresso_cached_throughput(benchmark, random_function):
+    """Warm-path throughput: identical problem served from the memo."""
+    on, dc = random_function
+    reset_cache()
+    espresso(on, dc)  # populate
     cover = benchmark(espresso, on, dc)
     assert cover.num_cubes > 0
+    mean, _ = _timings(benchmark)
+    if mean is not None:
+        _RESULTS["espresso_n9_cached"] = {"mean_seconds": mean}
+
+
+def test_parallel_sweep_wallclock():
+    """10-point fraction sweep: ``jobs=4`` vs serial wall-clock.
+
+    Both timings land in BENCH_substrate.json.  The parallel-beats-serial
+    assertion only fires when the machine actually has more than one CPU —
+    on a single-core container process fan-out cannot win.
+    """
+    spec = generate_spec(
+        "sweepbench", 10, 8, target_cf=0.65, dc_fraction=0.5, seed=7
+    )
+    fractions = [i / 9 for i in range(10)]
+    # Parallel first: the workers' minimisation caches die with the pool,
+    # so neither timing inherits warm state from the other.
+    reset_cache()
+    start = time.perf_counter()
+    parallel = fraction_sweep(spec, fractions, objective="area", jobs=4)
+    parallel_seconds = time.perf_counter() - start
+    reset_cache()
+    start = time.perf_counter()
+    serial = fraction_sweep(spec, fractions, objective="area", jobs=1)
+    serial_seconds = time.perf_counter() - start
+    assert serial == parallel  # deterministic ordering, identical results
+    cpus = _available_cpus()
+    _RESULTS["fraction_sweep_10pt"] = {
+        "points": len(fractions),
+        "jobs": 4,
+        "serial_seconds": serial_seconds,
+        "parallel_jobs4_seconds": parallel_seconds,
+        "speedup": serial_seconds / parallel_seconds,
+    }
+    if cpus > 1:
+        assert parallel_seconds < serial_seconds, (
+            f"jobs=4 ({parallel_seconds:.2f}s) should beat serial "
+            f"({serial_seconds:.2f}s) on {cpus} CPUs"
+        )
 
 
 def test_bdd_build_throughput(benchmark):
@@ -47,6 +168,9 @@ def test_bdd_build_throughput(benchmark):
 
     manager, ref = benchmark(build)
     assert manager.sat_count(ref) == int(table.sum())
+    mean, _ = _timings(benchmark)
+    if mean is not None:
+        _RESULTS["bdd_build_n12"] = {"mean_seconds": mean}
 
 
 def test_mapper_throughput(benchmark):
@@ -63,6 +187,9 @@ def test_mapper_throughput(benchmark):
     library = generic_70nm_library()
     netlist = benchmark(map_graph, graph, library, mode="area")
     assert netlist.num_gates > 0
+    mean, _ = _timings(benchmark)
+    if mean is not None:
+        _RESULTS["mapper_bench"] = {"mean_seconds": mean}
 
 
 def test_reliability_metric_throughput(benchmark):

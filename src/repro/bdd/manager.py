@@ -108,8 +108,8 @@ class BddManager:
 
     # ------------------------------------------------------------------- ite
 
-    def ite(self, f: int, g: int, h: int) -> int:
-        """If-then-else: ``f & g | ~f & h`` — the universal connective."""
+    def _ite_terminal(self, f: int, g: int, h: int) -> int | None:
+        """Terminal-case simplifications of ``ite``; None when none apply."""
         if f == self.one:
             return g
         if f == self.zero:
@@ -118,17 +118,54 @@ class BddManager:
             return g
         if g == self.one and h == self.zero:
             return f
-        key = (f, g, h)
-        cached = self._ite_cache.get(key)
-        if cached is not None:
-            return cached
-        top = min(self.var_of(f), self.var_of(g), self.var_of(h))
-        f0, f1 = self._cofactors(f, top)
-        g0, g1 = self._cofactors(g, top)
-        h0, h1 = self._cofactors(h, top)
-        result = self._mk(top, self.ite(f0, g0, h0), self.ite(f1, g1, h1))
-        self._ite_cache[key] = result
-        return result
+        return None
+
+    def ite(self, f: int, g: int, h: int) -> int:
+        """If-then-else: ``f & g | ~f & h`` — the universal connective.
+
+        Implemented with an explicit work stack and the flat ``(f, g, h)``
+        computed table, so deep BDDs (variable counts far beyond Python's
+        recursion limit) are handled without recursion.
+        """
+        terminal = self._ite_terminal(f, g, h)
+        if terminal is not None:
+            return terminal
+        cache = self._ite_cache
+        nodes = self._nodes
+        _EXPAND, _COMBINE = 0, 1
+        tasks: list[tuple[int, tuple]] = [(_EXPAND, (f, g, h))]
+        results: list[int] = []
+        while tasks:
+            op, payload = tasks.pop()
+            if op == _EXPAND:
+                f, g, h = payload
+                terminal = self._ite_terminal(f, g, h)
+                if terminal is not None:
+                    results.append(terminal)
+                    continue
+                key = (f, g, h)
+                cached = cache.get(key)
+                if cached is not None:
+                    results.append(cached)
+                    continue
+                top = min(nodes[f].var, nodes[g].var, nodes[h].var)
+                f0, f1 = self._cofactors(f, top)
+                g0, g1 = self._cofactors(g, top)
+                h0, h1 = self._cofactors(h, top)
+                # Post-order: combine fires after both cofactor subproblems
+                # (pushed above it) have appended their results.
+                tasks.append((_COMBINE, (key, top)))
+                tasks.append((_EXPAND, (f1, g1, h1)))
+                tasks.append((_EXPAND, (f0, g0, h0)))
+            else:
+                key, top = payload
+                hi = results.pop()
+                lo = results.pop()
+                result = self._mk(top, lo, hi)
+                cache[key] = result
+                results.append(result)
+        assert len(results) == 1
+        return results[0]
 
     def _cofactors(self, ref: int, var: int) -> tuple[int, int]:
         node = self._nodes[ref]
@@ -182,23 +219,42 @@ class BddManager:
         """Cofactor of *f* with variable *var* fixed to *value*."""
         if not 0 <= var < self.num_vars:
             raise ValueError(f"variable {var} out of range")
+        nodes = self._nodes
         cache: dict[int, int] = {}
 
-        def walk(ref: int) -> int:
-            node = self._nodes[ref]
+        def resolve(ref: int) -> int | None:
+            """Shortcut value of *ref*, or None when children are needed."""
+            node = nodes[ref]
             if node.var > var:
                 return ref
-            cached = cache.get(ref)
-            if cached is not None:
-                return cached
             if node.var == var:
-                result = node.hi if value else node.lo
-            else:
-                result = self._mk(node.var, walk(node.lo), walk(node.hi))
-            cache[ref] = result
-            return result
+                return node.hi if value else node.lo
+            return cache.get(ref)
 
-        return walk(f)
+        top = resolve(f)
+        if top is not None:
+            return top
+        stack = [f]
+        while stack:
+            ref = stack[-1]
+            if ref in cache:
+                stack.pop()
+                continue
+            node = nodes[ref]
+            pending = False
+            children = []
+            for child in (node.lo, node.hi):
+                resolved = resolve(child)
+                if resolved is None:
+                    stack.append(child)
+                    pending = True
+                else:
+                    children.append(resolved)
+            if pending:
+                continue
+            cache[ref] = self._mk(node.var, children[0], children[1])
+            stack.pop()
+        return cache[f]
 
     def compose(self, f: int, var: int, g: int) -> int:
         """Substitute function *g* for variable *var* inside *f*."""
@@ -235,23 +291,27 @@ class BddManager:
         return ref == self.one
 
     def sat_count(self, f: int) -> int:
-        """Number of satisfying assignments over all ``num_vars`` variables."""
-        cache: dict[int, int] = {}
+        """Number of satisfying assignments over all ``num_vars`` variables.
 
-        def walk(ref: int) -> int:
-            if ref == self.zero:
-                return 0
-            if ref == self.one:
-                return 1 << self.num_vars
-            cached = cache.get(ref)
-            if cached is not None:
-                return cached
-            node = self._nodes[ref]
-            total = (walk(node.lo) + walk(node.hi)) // 2
-            cache[ref] = total
-            return total
-
-        return walk(f)
+        Iterative post-order walk, so counts stay exact (Python bigints)
+        and deep BDDs cannot hit the recursion limit.
+        """
+        cache: dict[int, int] = {self.zero: 0, self.one: 1 << self.num_vars}
+        nodes = self._nodes
+        stack = [f]
+        while stack:
+            ref = stack[-1]
+            if ref in cache:
+                stack.pop()
+                continue
+            node = nodes[ref]
+            missing = [child for child in (node.lo, node.hi) if child not in cache]
+            if missing:
+                stack.extend(missing)
+                continue
+            cache[ref] = (cache[node.lo] + cache[node.hi]) // 2
+            stack.pop()
+        return cache[f]
 
     def support(self, f: int) -> set[int]:
         """The set of variables *f* structurally depends on."""

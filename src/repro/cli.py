@@ -11,8 +11,9 @@ Commands
     Run the full flow and print area/delay/power/gates/error rate.
 ``estimate <file.pla|name>``
     Print the exact, signal-probability and border estimate bands.
-``sweep <file.pla|name> [--objective O]``
-    Ranking-fraction sweep with normalised metrics (Fig. 4/5 style).
+``sweep <file.pla|name> [--objective O] [--points N] [--jobs J]``
+    Ranking-fraction sweep with normalised metrics (Fig. 4/5 style);
+    ``--jobs`` fans the sweep points out over worker processes.
 ``gen --inputs N --outputs M --cf C --dc D [-o OUT]``
     Generate a synthetic benchmark PLA.
 
@@ -125,21 +126,30 @@ def _cmd_estimate(args: argparse.Namespace) -> int:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
+    from .flows.sweep import fraction_sweep
+    from .perf import cache_stats
+
     spec = _load_spec(args.benchmark)
     fractions = [i / (args.points - 1) for i in range(args.points)]
-    baseline = run_flow(spec, "ranking", fraction=0.0, objective=args.objective)
+    results = fraction_sweep(
+        spec, fractions, objective=args.objective, jobs=args.jobs
+    )
+    baseline = results[0] if fractions and fractions[0] == 0.0 else run_flow(
+        spec, "ranking", fraction=0.0, objective=args.objective
+    )
     rows = []
-    for fraction in fractions:
-        result = (
-            baseline
-            if fraction == 0.0
-            else run_flow(spec, "ranking", fraction=fraction, objective=args.objective)
-        )
+    for fraction, result in zip(fractions, results):
         rel = relative_metrics(result, baseline)
         rows.append(
             [fraction, rel["error_rate"], rel["area"], rel["delay"], rel["power"]]
         )
     print(format_table(["fraction", "error", "area", "delay", "power"], rows))
+    if args.cache_stats:
+        stats = cache_stats()
+        print(
+            f"minimization cache: {stats['hits']} hits / {stats['misses']} misses "
+            f"(hit rate {100 * stats['hit_rate']:.1f}%, {stats['entries']} entries)"
+        )
     return 0
 
 
@@ -242,6 +252,10 @@ def _build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--objective", default="power",
                          choices=["delay", "power", "area"])
     p_sweep.add_argument("--points", type=int, default=5)
+    p_sweep.add_argument("--jobs", type=int, default=1,
+                         help="worker processes for the sweep points")
+    p_sweep.add_argument("--cache-stats", action="store_true",
+                         help="print minimization-cache hit/miss counters")
     p_sweep.set_defaults(func=_cmd_sweep)
 
     p_nodal = sub.add_parser(

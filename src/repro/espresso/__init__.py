@@ -6,7 +6,19 @@ complement), the EXPAND–IRREDUNDANT–REDUCE loop, and a Quine–McCluskey
 exact minimiser used as a cross-check oracle in the tests.
 """
 
-from .cube import FREE, V0, V1, Cover, cube_contains, cube_intersection, cubes_intersect, supercube
+from .cube import (
+    FREE,
+    V0,
+    V1,
+    Cover,
+    cube_contains,
+    cube_intersection,
+    cube_tables,
+    cubes_intersect,
+    pack_cubes,
+    supercube,
+    unpack_cubes,
+)
 from .expand import expand
 from .irredundant import irredundant
 from .minimize import MinimizedFunction, espresso, minimize_spec
@@ -22,8 +34,11 @@ __all__ = [
     "Cover",
     "cube_contains",
     "cube_intersection",
+    "cube_tables",
     "cubes_intersect",
+    "pack_cubes",
     "supercube",
+    "unpack_cubes",
     "expand",
     "irredundant",
     "MinimizedFunction",

@@ -10,6 +10,26 @@ A *cover* is a set of cubes, stored as a ``uint8`` numpy array of shape
 ``(num_cubes, num_inputs)``.  All the unate-recursive-paradigm operators of
 :mod:`repro.espresso.unate` and the ESPRESSO loop of
 :mod:`repro.espresso.minimize` work on :class:`Cover` objects.
+
+Packed representation
+---------------------
+
+The hot kernels do not walk literals one by one.  Every cube additionally
+has a *packed* form: a pair of ``uint64`` machine words per 64 variables,
+
+* ``mask`` — bit ``j`` set iff variable ``j`` is bound (not FREE),
+* ``value`` — bit ``j`` set iff the bound literal is ``V1``.
+
+With this encoding the classic cube predicates collapse to a handful of
+whole-word bitwise operations (see :func:`pack_cubes`):
+
+* *a* and *b* intersect  iff  ``(value_a ^ value_b) & mask_a & mask_b == 0``;
+* *a* contains *b*       iff  ``mask_a & ~mask_b == 0`` and
+  ``(value_a ^ value_b) & mask_a == 0``;
+* *a* covers minterm *m* iff  ``(value_a ^ m) & mask_a == 0``.
+
+:class:`Cover` computes and caches the packed arrays lazily; covers are
+immutable by convention, so the cache never goes stale.
 """
 
 from __future__ import annotations
@@ -25,6 +45,8 @@ __all__ = [
     "cube_intersection",
     "cubes_intersect",
     "cube_string",
+    "pack_cubes",
+    "unpack_cubes",
     "supercube",
 ]
 
@@ -40,6 +62,88 @@ FREE: int = 2
 _CHAR_OF = {V0: "0", V1: "1", FREE: "-"}
 _CODE_OF = {"0": V0, "1": V1, "-": FREE, "2": FREE}
 
+_WORD_BITS = 64
+"""Variables per packed machine word."""
+
+
+def num_words(num_inputs: int) -> int:
+    """Packed words needed for *num_inputs* variables (at least one)."""
+    return max(1, (num_inputs + _WORD_BITS - 1) // _WORD_BITS)
+
+
+def pack_cubes(cubes: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Pack literal-code rows into ``(masks, values)`` uint64 word arrays.
+
+    Args:
+        cubes: ``uint8`` array of shape ``(k, n)`` holding V0/V1/FREE codes.
+
+    Returns:
+        Two ``uint64`` arrays of shape ``(k, ceil(n / 64))``: bit ``j`` of
+        word ``j // 64`` is set in ``masks`` iff variable ``j`` is bound,
+        and in ``values`` iff it is bound to 1.
+    """
+    k, n = cubes.shape
+    words = num_words(n)
+    masks = np.zeros((k, words), dtype=np.uint64)
+    values = np.zeros((k, words), dtype=np.uint64)
+    bound = cubes != FREE
+    ones = cubes == V1
+    for w in range(words):
+        lo = w * _WORD_BITS
+        hi = min(n, lo + _WORD_BITS)
+        if hi <= lo:
+            break
+        shifts = np.arange(hi - lo, dtype=np.uint64)
+        masks[:, w] = (bound[:, lo:hi].astype(np.uint64) << shifts).sum(
+            axis=1, dtype=np.uint64
+        )
+        values[:, w] = (ones[:, lo:hi].astype(np.uint64) << shifts).sum(
+            axis=1, dtype=np.uint64
+        )
+    return masks, values
+
+
+def unpack_cubes(masks: np.ndarray, values: np.ndarray, num_inputs: int) -> np.ndarray:
+    """Inverse of :func:`pack_cubes`: word pairs back to literal-code rows."""
+    k = masks.shape[0]
+    cubes = np.full((k, num_inputs), FREE, dtype=np.uint8)
+    one = np.uint64(1)
+    for j in range(num_inputs):
+        w, b = divmod(j, _WORD_BITS)
+        shift = np.uint64(b)
+        bound = ((masks[:, w] >> shift) & one).astype(bool)
+        ones = ((values[:, w] >> shift) & one).astype(np.uint8)
+        cubes[bound, j] = ones[bound]
+    return cubes
+
+
+def pack_minterm(minterm: int, num_inputs: int) -> np.ndarray:
+    """A minterm index as a packed value-word vector (all variables bound)."""
+    words = num_words(num_inputs)
+    out = np.empty(words, dtype=np.uint64)
+    for w in range(words):
+        out[w] = (minterm >> (w * _WORD_BITS)) & 0xFFFFFFFFFFFFFFFF
+    return out
+
+
+def _pack_cube(cube: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Packed ``(mask, value)`` word vectors of a single cube row."""
+    masks, values = pack_cubes(cube.reshape(1, -1))
+    return masks[0], values[0]
+
+
+def cube_tables(cubes: np.ndarray, num_inputs: int) -> np.ndarray:
+    """Dense per-cube minterm tables, shape ``(k, 2**num_inputs)``.
+
+    Row ``i`` is the truth table of cube ``i`` alone: entry ``m`` is True
+    iff ``(m ^ value_i) & mask_i == 0``.  Only valid for word-sized input
+    counts (``num_inputs <= 63``) — which is implied by materialising a
+    ``2**n`` table at all.
+    """
+    masks, values = pack_cubes(cubes)
+    idx = np.arange(1 << num_inputs, dtype=np.uint64)
+    return ((idx[None, :] ^ values[:, 0][:, None]) & masks[:, 0][:, None]) == 0
+
 
 def cube_string(cube: np.ndarray) -> str:
     """Render a cube as a ``01-`` string (input 0 first)."""
@@ -48,12 +152,18 @@ def cube_string(cube: np.ndarray) -> str:
 
 def cube_contains(outer: np.ndarray, inner: np.ndarray) -> bool:
     """True if every minterm of *inner* lies in *outer*."""
-    return bool(np.all((outer == FREE) | (outer == inner)))
+    outer_mask, outer_value = _pack_cube(outer)
+    inner_mask, inner_value = _pack_cube(inner)
+    if np.any(outer_mask & ~inner_mask):
+        return False
+    return not np.any((outer_value ^ inner_value) & outer_mask)
 
 
 def cubes_intersect(a: np.ndarray, b: np.ndarray) -> bool:
     """True if cubes *a* and *b* share at least one minterm."""
-    return not bool(np.any((a != FREE) & (b != FREE) & (a != b)))
+    a_mask, a_value = _pack_cube(a)
+    b_mask, b_value = _pack_cube(b)
+    return not np.any((a_value ^ b_value) & a_mask & b_mask)
 
 
 def cube_intersection(a: np.ndarray, b: np.ndarray) -> np.ndarray | None:
@@ -78,9 +188,15 @@ def supercube(cubes: np.ndarray) -> np.ndarray:
 
 
 class Cover:
-    """An SOP cover: a set of cubes over a fixed number of inputs."""
+    """An SOP cover: a set of cubes over a fixed number of inputs.
 
-    __slots__ = ("cubes", "num_inputs")
+    Covers are immutable by convention — do not write to ``cover.cubes``
+    after construction; every transformation returns a new object.  The
+    packed word arrays backing the bit-parallel kernels are derived lazily
+    and cached under that assumption.
+    """
+
+    __slots__ = ("cubes", "num_inputs", "_masks", "_values")
 
     def __init__(self, cubes: np.ndarray, num_inputs: int):
         arr = np.asarray(cubes, dtype=np.uint8)
@@ -92,6 +208,17 @@ class Cover:
             raise ValueError("invalid literal code in cover")
         self.cubes = arr
         self.num_inputs = num_inputs
+        self._masks: np.ndarray | None = None
+        self._values: np.ndarray | None = None
+
+    # --------------------------------------------------------------- packing
+
+    @property
+    def packed(self) -> tuple[np.ndarray, np.ndarray]:
+        """Cached ``(masks, values)`` packed words of every cube."""
+        if self._masks is None:
+            self._masks, self._values = pack_cubes(self.cubes)
+        return self._masks, self._values
 
     # ---------------------------------------------------------- constructors
 
@@ -107,8 +234,20 @@ class Cover:
 
     @classmethod
     def from_minterms(cls, num_inputs: int, minterms) -> "Cover":
-        """One fully specified cube per minterm index."""
+        """One fully specified cube per minterm index.
+
+        Raises:
+            ValueError: if any minterm index is negative or ``>= 2**n``.
+        """
         minterms = np.asarray(list(minterms), dtype=np.int64)
+        if minterms.size:
+            lo, hi = int(minterms.min()), int(minterms.max())
+            if lo < 0 or hi >= (1 << num_inputs):
+                bad = lo if lo < 0 else hi
+                raise ValueError(
+                    f"minterm {bad} out of range for {num_inputs} inputs "
+                    f"(expected 0 <= m < {1 << num_inputs})"
+                )
         cubes = np.zeros((len(minterms), num_inputs), dtype=np.uint8)
         for j in range(num_inputs):
             cubes[:, j] = (minterms >> j) & 1
@@ -116,7 +255,12 @@ class Cover:
 
     @classmethod
     def from_strings(cls, strings: list[str]) -> "Cover":
-        """Build a cover from ``01-`` cube strings (input 0 first)."""
+        """Build a cover from ``01-`` cube strings (input 0 first).
+
+        Raises:
+            ValueError: on an empty list, ragged widths, or characters
+                outside ``0``, ``1``, ``-`` (``2`` is accepted for FREE).
+        """
         if not strings:
             raise ValueError("from_strings needs at least one cube string")
         num_inputs = len(strings[0])
@@ -125,7 +269,13 @@ class Cover:
             if len(text) != num_inputs:
                 raise ValueError(f"cube {text!r} has wrong width")
             for j, ch in enumerate(text):
-                cubes[i, j] = _CODE_OF[ch]
+                code = _CODE_OF.get(ch)
+                if code is None:
+                    raise ValueError(
+                        f"invalid literal character {ch!r} in cube {text!r} "
+                        "(expected '0', '1' or '-')"
+                    )
+                cubes[i, j] = code
         return cls(cubes, num_inputs)
 
     # ------------------------------------------------------------------ size
@@ -172,11 +322,12 @@ class Cover:
         """
         if self.num_cubes == 0:
             return Cover.empty(self.num_inputs)
-        bound = cube != FREE
-        conflict = (self.cubes != FREE) & bound & (self.cubes != cube)
-        keep = ~np.any(conflict, axis=1)
+        cube_mask, cube_value = _pack_cube(np.asarray(cube, dtype=np.uint8))
+        masks, values = self.packed
+        # Rows that intersect `cube`: no variable bound by both disagrees.
+        keep = ~np.any((values ^ cube_value) & masks & cube_mask, axis=1)
         rows = self.cubes[keep].copy()
-        rows[:, bound] = FREE
+        rows[:, cube != FREE] = FREE
         return Cover(rows, self.num_inputs)
 
     def var_cofactor(self, var: int, value: int) -> "Cover":
@@ -190,26 +341,27 @@ class Cover:
         n = self.num_inputs
         size = 1 << n
         result = np.zeros(size, dtype=bool)
-        idx = np.arange(size, dtype=np.int64)
-        for cube in self.cubes:
-            match = np.ones(size, dtype=bool)
-            for j in range(n):
-                if cube[j] != FREE:
-                    match &= ((idx >> j) & 1) == cube[j]
-            result |= match
+        if self.num_cubes == 0:
+            return result
+        masks, values = self.packed
+        idx = np.arange(size, dtype=np.uint64)
+        # Whole-row kernel: minterm m is in cube c iff (m ^ value_c) has no
+        # set bit under mask_c.  Chunk the cube axis to bound the (k, 2**n)
+        # intermediate.
+        chunk = max(1, 8_000_000 // max(1, size))
+        for start in range(0, self.num_cubes, chunk):
+            mask_block = masks[start : start + chunk, 0][:, None]
+            value_block = values[start : start + chunk, 0][:, None]
+            result |= np.any(((idx[None, :] ^ value_block) & mask_block) == 0, axis=0)
         return result
 
     def covers_minterm(self, minterm: int) -> bool:
         """True if any cube contains the given minterm index."""
-        for cube in self.cubes:
-            hit = True
-            for j in range(self.num_inputs):
-                if cube[j] != FREE and int((minterm >> j) & 1) != cube[j]:
-                    hit = False
-                    break
-            if hit:
-                return True
-        return False
+        if self.num_cubes == 0:
+            return False
+        masks, values = self.packed
+        point = pack_minterm(minterm, self.num_inputs)
+        return bool(np.any(np.all(((values ^ point) & masks) == 0, axis=1)))
 
     def minterms(self) -> np.ndarray:
         """Sorted indices of all covered minterms."""
@@ -220,12 +372,12 @@ class Cover:
         k = self.num_cubes
         if k <= 1:
             return self
-        cubes = self.cubes
-        # contains[j, i]: cube j contains cube i (vectorised pairwise test).
-        contains = np.all(
-            (cubes[:, None, :] == FREE) | (cubes[:, None, :] == cubes[None, :, :]),
-            axis=2,
-        )
+        masks, values = self.packed
+        # contains[j, i]: cube j contains cube i — j's bound variables are a
+        # subset of i's and the two agree wherever j is bound.
+        subset = (masks[:, None, :] & ~masks[None, :, :]) == 0
+        agree = ((values[:, None, :] ^ values[None, :, :]) & masks[:, None, :]) == 0
+        contains = np.all(subset & agree, axis=2)
         np.fill_diagonal(contains, False)
         keep = np.ones(k, dtype=bool)
         for i in range(k):
@@ -236,7 +388,7 @@ class Cover:
                     continue  # identical cubes: keep the first
                 keep[i] = False
                 break
-        return Cover(cubes[keep], self.num_inputs)
+        return Cover(self.cubes[keep], self.num_inputs)
 
     def cube_strings(self) -> list[str]:
         """``01-`` strings of all cubes."""

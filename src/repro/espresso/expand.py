@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from .cube import FREE, Cover, cube_contains
+from .cube import FREE, Cover
 
 __all__ = ["expand"]
 
@@ -28,25 +28,27 @@ def _expand_cube(cube: np.ndarray, off: np.ndarray) -> np.ndarray:
     blocking = conflicts.sum(axis=1)
     if np.any(blocking == 0):
         raise ValueError("cube intersects the off-set; cover is inconsistent")
-    while True:
-        bound = np.flatnonzero(cube != FREE)
-        if bound.size == 0:
-            break
+    bound = cube != FREE
+    weights = conflicts.sum(axis=0)
+    while np.any(bound):
         # A literal j is raisable iff no off-cube relies on it alone.
-        critical = np.zeros(num_vars, dtype=bool)
         single = blocking == 1
         if np.any(single):
-            critical |= np.any(conflicts[single], axis=0)
-        raisable = [int(j) for j in bound if not critical[j]]
-        if not raisable:
+            critical = np.any(conflicts[single], axis=0)
+            raisable = np.flatnonzero(bound & ~critical)
+        else:
+            raisable = np.flatnonzero(bound)
+        if raisable.size == 0:
             break
         # Heuristic: raise the literal involved in the fewest conflicts, so
         # the remaining literals keep blocking as many off-cubes as possible.
-        weights = conflicts.sum(axis=0)
-        best = min(raisable, key=lambda j: (int(weights[j]), j))
+        # argmin takes the first minimum, i.e. the lowest variable index.
+        best = int(raisable[np.argmin(weights[raisable])])
         cube[best] = FREE
+        bound[best] = False
         blocking -= conflicts[:, best]
         conflicts[:, best] = False
+        weights[best] = 0
     return cube
 
 

@@ -4,16 +4,46 @@ A cube ``c`` is redundant when ``(F \\ c) + D`` contains it, which reduces
 to a tautology check of the cofactor.  Cubes are examined from most- to
 least-specific (most literals first), so small special-case cubes are
 discarded before the large primes they hide under.
+
+For word-sized input spaces the check runs bit-parallel over dense
+per-cube minterm tables (one coverage counter per minterm, decremented as
+cubes die); larger spaces fall back to the recursive tautology test.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from .cube import FREE, Cover
+from .cube import FREE, Cover, cube_tables
 from .unate import _is_tautology
 
 __all__ = ["irredundant"]
+
+_DENSE_CELL_LIMIT = 16_000_000
+"""Use the dense kernel while ``num_cubes * 2**n`` stays below this."""
+
+
+def _dense_irredundant(cubes: np.ndarray, dont_care: Cover, num_inputs: int) -> np.ndarray:
+    """Sequential redundancy elimination on dense minterm tables.
+
+    Semantically identical to the cofactor-tautology loop: cube ``i`` dies
+    iff every one of its minterms is either a don't care or covered by
+    another still-alive cube.
+    """
+    tables = cube_tables(cubes, num_inputs)
+    dc_table = (
+        dont_care.evaluate()
+        if dont_care.num_cubes
+        else np.zeros(1 << num_inputs, dtype=bool)
+    )
+    coverage = tables.sum(axis=0, dtype=np.int64)
+    alive = np.ones(len(cubes), dtype=bool)
+    for i in range(len(cubes)):
+        table = tables[i]
+        if np.all(~table | dc_table | (coverage > 1)):
+            alive[i] = False
+            coverage -= table
+    return alive
 
 
 def irredundant(cover: Cover, dont_care: Cover) -> Cover:
@@ -23,10 +53,14 @@ def irredundant(cover: Cover, dont_care: Cover) -> Cover:
         return cover
     order = np.argsort(-np.count_nonzero(cubes != FREE, axis=1), kind="stable")
     cubes = cubes[order]
+    num_inputs = cover.num_inputs
+    if num_inputs <= 62 and len(cubes) << num_inputs <= _DENSE_CELL_LIMIT:
+        alive = _dense_irredundant(cubes, dont_care, num_inputs)
+        return Cover(cubes[alive], num_inputs)
     alive = np.ones(len(cubes), dtype=bool)
     for i in range(len(cubes)):
         rest = np.vstack([cubes[alive & (np.arange(len(cubes)) != i)], dont_care.cubes])
-        rest_cover = Cover(rest, cover.num_inputs)
+        rest_cover = Cover(rest, num_inputs)
         if _is_tautology(rest_cover.cofactor(cubes[i]).cubes):
             alive[i] = False
-    return Cover(cubes[alive], cover.num_inputs)
+    return Cover(cubes[alive], num_inputs)

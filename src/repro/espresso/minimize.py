@@ -13,11 +13,12 @@ from __future__ import annotations
 import numpy as np
 
 from ..core.spec import FunctionSpec
-from .cube import FREE, Cover, cubes_intersect, supercube
+from ..perf.cache import cover_key, global_cache, spec_key
+from .cube import FREE, Cover, pack_cubes
 from .expand import _expand_cube, expand
 from .irredundant import irredundant
-from .reduce_ import reduce_cover
-from .unate import _complement, complement
+from .reduce_ import max_reduce, reduce_cover
+from .unate import complement
 
 __all__ = ["espresso", "minimize_spec", "MinimizedFunction"]
 
@@ -26,23 +27,6 @@ _MAX_ITERATIONS = 20
 
 _LAST_GASP_LIMIT = 200
 """Skip the O(cubes^2) LAST_GASP pass above this cover size."""
-
-
-def _max_reduce_one(cover: Cover, index: int, dont_care: Cover) -> np.ndarray:
-    """Maximally reduce one cube independently of the other reductions."""
-    rest = Cover(
-        np.vstack([np.delete(cover.cubes, index, axis=0), dont_care.cubes]),
-        cover.num_inputs,
-    )
-    others = rest.cofactor(cover.cubes[index])
-    unique_part = _complement(others.cubes, cover.num_inputs)
-    if unique_part.shape[0] == 0:
-        return cover.cubes[index]
-    shrink = supercube(unique_part)
-    merged = cover.cubes[index].copy()
-    bound = shrink != FREE
-    merged[bound] = shrink[bound]
-    return merged
 
 
 def _last_gasp(cover: Cover, dont_care: Cover, off: Cover) -> Cover:
@@ -56,25 +40,29 @@ def _last_gasp(cover: Cover, dont_care: Cover, off: Cover) -> Cover:
     k = cover.num_cubes
     if k < 2 or k > _LAST_GASP_LIMIT:
         return cover
-    reduced = np.vstack([_max_reduce_one(cover, i, dont_care) for i in range(k)])
+    reduced = max_reduce(cover, dont_care)
     pair_i, pair_j = np.triu_indices(k, 1)
     # Pairwise supercubes: keep a literal only where both cubes agree.
     left, right = reduced[pair_i], reduced[pair_j]
     supercubes = np.where(left == right, left, FREE).astype(np.uint8)
     # A candidate is useful iff it misses the off-set entirely: every
-    # off-cube must conflict with it on at least one variable.
+    # off-cube must conflict with it on at least one variable.  Packed
+    # kernel: candidate b and off-cube r conflict iff some word of
+    # (value_b ^ value_r) & mask_b & mask_r is non-zero.
     extra: list[np.ndarray] = []
     off_rows = off.cubes
-    chunk = max(1, 2_000_000 // max(1, off_rows.shape[0] * reduced.shape[1]))
+    super_masks, super_values = pack_cubes(supercubes)
+    off_masks, off_values = off.packed
+    chunk = max(1, 2_000_000 // max(1, off_rows.shape[0] * super_masks.shape[1]))
     for start in range(0, supercubes.shape[0], chunk):
-        block = supercubes[start : start + chunk]
+        block = slice(start, start + chunk)
         conflict = (
-            (block[:, None, :] != FREE)
-            & (off_rows[None, :, :] != FREE)
-            & (block[:, None, :] != off_rows[None, :, :])
+            (super_values[block, None, :] ^ off_values[None, :, :])
+            & super_masks[block, None, :]
+            & off_masks[None, :, :]
         ).any(axis=2)
         valid = conflict.all(axis=1)
-        for row in block[valid]:
+        for row in supercubes[block][valid]:
             extra.append(_expand_cube(row, off_rows))
     if not extra:
         return cover
@@ -98,12 +86,20 @@ def espresso(on: Cover, dc: Cover | None = None) -> Cover:
     Raises:
         ValueError: if *on* and *dc* are inconsistent (overlapping
             complement), surfaced from the expansion step.
+
+    Results are memoised process-wide by problem content (see
+    :mod:`repro.perf.cache`); cached covers are returned as shared,
+    read-only objects.
     """
     num_inputs = on.num_inputs
     if dc is None:
         dc = Cover.empty(num_inputs)
     if on.num_cubes == 0:
         return on
+    key = cover_key(on.cubes, dc.cubes, num_inputs)
+    cached = global_cache.get(key)
+    if cached is not None:
+        return cached
     off = complement(on.union(dc))
     cover = expand(on, off)
     cover = irredundant(cover, dc)
@@ -126,6 +122,8 @@ def espresso(on: Cover, dc: Cover | None = None) -> Cover:
             best = cover
         else:
             break
+    best.cubes.setflags(write=False)
+    global_cache.put(key, best)
     return best
 
 
@@ -162,10 +160,19 @@ class MinimizedFunction:
 
 
 def minimize_spec(spec: FunctionSpec) -> MinimizedFunction:
-    """Run espresso on every output of *spec* (DCs used for minimisation)."""
-    covers = []
-    for out in range(spec.num_outputs):
-        on = Cover.from_minterms(spec.num_inputs, spec.on_set(out))
-        dc = Cover.from_minterms(spec.num_inputs, spec.dc_set(out))
-        covers.append(espresso(on, dc))
-    return MinimizedFunction(spec, covers)
+    """Run espresso on every output of *spec* (DCs used for minimisation).
+
+    Results are memoised process-wide on the spec's phase content (not its
+    name), so sweep drivers that revisit an identical truth table get the
+    covers back without recomputation.
+    """
+    key = spec_key(spec.phases)
+    covers = global_cache.get(key)
+    if covers is None:
+        covers = []
+        for out in range(spec.num_outputs):
+            on = Cover.from_minterms(spec.num_inputs, spec.on_set(out))
+            dc = Cover.from_minterms(spec.num_inputs, spec.dc_set(out))
+            covers.append(espresso(on, dc))
+        global_cache.put(key, covers)
+    return MinimizedFunction(spec, list(covers))

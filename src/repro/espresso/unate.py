@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from .cube import FREE, V0, V1, Cover
+from .cube import FREE, V0, V1, Cover, pack_cubes
 
 __all__ = ["is_tautology", "complement", "cover_contains_cube", "covers_cover"]
 
@@ -30,6 +30,28 @@ def _active_vars(cubes: np.ndarray) -> np.ndarray:
     if cubes.shape[0] == 0:
         return np.empty(0, dtype=np.int64)
     return np.flatnonzero(np.any(cubes != FREE, axis=0))
+
+
+def _dense_covered(cubes: np.ndarray, active: np.ndarray) -> np.ndarray:
+    """Truth table of the cover over its active variables (packed kernel).
+
+    Minterm ``m`` (bit ``pos`` = value of ``active[pos]``) is covered iff
+    some cube's packed words satisfy ``(m ^ value) & mask == 0`` — one
+    whole-row bitwise op per cube block, no per-variable Python loop.
+    """
+    k = len(active)
+    size = 1 << k
+    masks, values = pack_cubes(cubes[:, active])
+    idx = np.arange(size, dtype=np.uint64)
+    covered = np.zeros(size, dtype=bool)
+    chunk = max(1, 4_000_000 // max(1, size))
+    for start in range(0, cubes.shape[0], chunk):
+        mask_block = masks[start : start + chunk, 0][:, None]
+        value_block = values[start : start + chunk, 0][:, None]
+        covered |= np.any(((idx[None, :] ^ value_block) & mask_block) == 0, axis=0)
+        if covered.all():
+            break
+    return covered
 
 
 def _most_binate_var(cubes: np.ndarray) -> int | None:
@@ -48,20 +70,7 @@ def _most_binate_var(cubes: np.ndarray) -> int | None:
 
 def _dense_tautology(cubes: np.ndarray, active: np.ndarray) -> bool:
     """Exhaustively evaluate the cover over its active variables."""
-    k = len(active)
-    size = 1 << k
-    covered = np.zeros(size, dtype=bool)
-    idx = np.arange(size, dtype=np.int64)
-    for cube in cubes:
-        match = np.ones(size, dtype=bool)
-        for pos, var in enumerate(active):
-            literal = cube[var]
-            if literal != FREE:
-                match &= ((idx >> pos) & 1) == literal
-        covered |= match
-        if covered.all():
-            return True
-    return bool(covered.all())
+    return bool(_dense_covered(cubes, active).all())
 
 
 def is_tautology(cover: Cover) -> bool:
@@ -124,21 +133,11 @@ def _dense_complement(cubes: np.ndarray, active: np.ndarray) -> np.ndarray:
     active variables (FREE elsewhere).  Used only at small active counts.
     """
     k = len(active)
-    size = 1 << k
-    covered = np.zeros(size, dtype=bool)
-    idx = np.arange(size, dtype=np.int64)
-    for cube in cubes:
-        match = np.ones(size, dtype=bool)
-        for pos, var in enumerate(active):
-            literal = cube[var]
-            if literal != FREE:
-                match &= ((idx >> pos) & 1) == literal
-        covered |= match
-    off = np.flatnonzero(~covered)
+    off = np.flatnonzero(~_dense_covered(cubes, active))
     rows = np.full((len(off), cubes.shape[1]), FREE, dtype=np.uint8)
-    for row, point in enumerate(off):
-        for pos, var in enumerate(active):
-            rows[row, var] = (int(point) >> pos) & 1
+    if len(off):
+        bits = (off[:, None] >> np.arange(k)[None, :]) & 1
+        rows[:, active] = bits.astype(np.uint8)
     return rows
 
 
@@ -148,23 +147,22 @@ def _merge_shannon(
     """Assemble ``x'·comp0 + x·comp1``, merging cubes equal up to *var*."""
     if comp0.shape[0] == 0 and comp1.shape[0] == 0:
         return np.empty((0, num_vars), dtype=np.uint8)
-    if comp0.shape[0]:
-        comp0 = np.unique(comp0, axis=0)
-    if comp1.shape[0]:
-        comp1 = np.unique(comp1, axis=0)
-    seen: dict[bytes, int] = {}
+    # One dict pass both dedups within each branch and detects cubes common
+    # to the two branches (for which the split variable is irrelevant).
+    seen: dict[bytes, tuple[int, int]] = {}
     rows: list[np.ndarray] = []
     for value, part in ((V0, comp0), (V1, comp1)):
         for cube in part:
             key = cube.tobytes()
-            if key in seen:
-                # The same residual cube appears in both branches: the
-                # split variable is irrelevant for it.
-                rows[seen[key]][var] = FREE
+            prev = seen.get(key)
+            if prev is not None:
+                prev_value, prev_index = prev
+                if prev_value != value:
+                    rows[prev_index][var] = FREE
                 continue
             merged = cube.copy()
             merged[var] = value
-            seen[key] = len(rows)
+            seen[key] = (value, len(rows))
             rows.append(merged)
     return np.vstack(rows) if rows else np.empty((0, num_vars), dtype=np.uint8)
 

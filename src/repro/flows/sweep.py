@@ -7,11 +7,24 @@ Each function here regenerates the data behind one artefact:
 * :func:`table2_row` — Table 2 (LC^f vs ranking vs complete);
 * :func:`table3_row` — Table 3 (estimate bands and achieved rates);
 * :func:`threshold_sweep` — the LC^f-threshold ablation.
+
+Parallel execution
+------------------
+
+Every sweep point is an independent ``run_flow`` call, so the sweep
+drivers accept a ``jobs`` argument and fan the points out over a
+:class:`~concurrent.futures.ProcessPoolExecutor` (see
+:func:`parallel_map`).  Results always come back in input order, so a
+parallel sweep is bit-identical to the serial one.  ``jobs <= 1`` runs
+in-process, which additionally shares the minimisation cache of
+:mod:`repro.perf` across points.
 """
 
 from __future__ import annotations
 
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence, TypeVar
 
 import numpy as np
 
@@ -25,6 +38,7 @@ from .experiment import FlowResult, relative_metrics, run_flow
 __all__ = [
     "fraction_sweep",
     "family_tradeoff",
+    "parallel_map",
     "table2_row",
     "Table2Row",
     "table3_row",
@@ -32,18 +46,71 @@ __all__ = [
     "threshold_sweep",
 ]
 
+_T = TypeVar("_T")
+_R = TypeVar("_R")
+
+
+def parallel_map(
+    func: Callable[[_T], _R], tasks: Sequence[_T], jobs: int
+) -> list[_R]:
+    """Map *func* over *tasks*, optionally across worker processes.
+
+    Args:
+        func: a picklable (module-level) callable.
+        jobs: worker-process count; ``<= 1`` runs serially in-process.
+
+    Returns:
+        Results in input order regardless of completion order, so callers
+        see deterministic output either way.
+    """
+    if jobs <= 1 or len(tasks) <= 1:
+        return [func(task) for task in tasks]
+    with ProcessPoolExecutor(max_workers=min(jobs, len(tasks))) as pool:
+        return list(pool.map(func, tasks))
+
+
+def _run_flow_task(task: tuple[FunctionSpec, str, dict]) -> FlowResult:
+    """Module-level trampoline so sweep points pickle across processes."""
+    spec, policy, kwargs = task
+    return run_flow(spec, policy, **kwargs)
+
 
 def fraction_sweep(
     spec: FunctionSpec,
     fractions: list[float],
     *,
     objective: str = "delay",
+    jobs: int = 1,
 ) -> list[FlowResult]:
     """Ranking-based results across assignment fractions (Figs. 4-5)."""
-    return [
-        run_flow(spec, "ranking", fraction=fraction, objective=objective)
+    tasks = [
+        (spec, "ranking", {"fraction": fraction, "objective": objective})
         for fraction in fractions
     ]
+    return parallel_map(_run_flow_task, tasks, jobs)
+
+
+def _family_member_task(
+    task: tuple[FunctionSpec, tuple[float, ...], str],
+) -> list[tuple[float, float, float]] | None:
+    """One family member's full trajectory: ``(fraction, area, error)``.
+
+    Returns None for degenerate (wire-only) members, whose baseline has
+    zero area and therefore no overhead signal.
+    """
+    spec, fractions, objective = task
+    baseline = run_flow(spec, "ranking", fraction=0.0, objective=objective)
+    if baseline.area == 0:
+        return None
+    points: list[tuple[float, float, float]] = []
+    for fraction in fractions:
+        if fraction == 0.0:
+            result = baseline
+        else:
+            result = run_flow(spec, "ranking", fraction=fraction, objective=objective)
+        rel = relative_metrics(result, baseline)
+        points.append((fraction, rel["area"], rel["error_rate"]))
+    return points
 
 
 def family_tradeoff(
@@ -56,41 +123,52 @@ def family_tradeoff(
     dc_fraction: float = 0.6,
     objective: str = "power",
     seed: int = 0,
+    jobs: int = 1,
 ) -> dict[float, list[dict[str, float]]]:
     """Fig. 6: normalised (area, error rate) trajectories per C^f family.
+
+    With ``jobs > 1`` the family members (each a full baseline-plus-
+    fractions trajectory) are distributed over worker processes; the
+    aggregation below is order-preserving, so results are identical to the
+    serial run.
 
     Returns:
         Map from family C^f to a list of ``{fraction, area, error_rate}``
         points averaged over the family's functions, normalised to the
         fraction-0 (conventional) point of each function.
     """
+    fractions = tuple(fractions)
+    members: list[tuple[float, FunctionSpec]] = []
+    for cf in complexity_factors:
+        for index in range(functions_per_family):
+            members.append(
+                (
+                    cf,
+                    generate_spec(
+                        f"fam{cf:.2f}_{index}",
+                        num_inputs,
+                        num_outputs,
+                        target_cf=cf,
+                        dc_fraction=dc_fraction,
+                        seed=seed * 1000 + int(cf * 100) * 10 + index,
+                    ),
+                )
+            )
+    trajectories_raw = parallel_map(
+        _family_member_task,
+        [(spec, fractions, objective) for _, spec in members],
+        jobs,
+    )
     trajectories: dict[float, list[dict[str, float]]] = {}
     for cf in complexity_factors:
-        accumulator = {fraction: [] for fraction in fractions}
-        for index in range(functions_per_family):
-            spec = generate_spec(
-                f"fam{cf:.2f}_{index}",
-                num_inputs,
-                num_outputs,
-                target_cf=cf,
-                dc_fraction=dc_fraction,
-                seed=seed * 1000 + int(cf * 100) * 10 + index,
-            )
-            baseline = run_flow(spec, "ranking", fraction=0.0, objective=objective)
-            if baseline.area == 0:
-                # A degenerate (wire-only) family member carries no
-                # overhead signal; skip it rather than polluting the
-                # family mean with undefined ratios.
+        accumulator: dict[float, list[tuple[float, float]]] = {
+            fraction: [] for fraction in fractions
+        }
+        for (member_cf, _), points in zip(members, trajectories_raw):
+            if member_cf != cf or points is None:
                 continue
-            for fraction in fractions:
-                if fraction == 0.0:
-                    result = baseline
-                else:
-                    result = run_flow(
-                        spec, "ranking", fraction=fraction, objective=objective
-                    )
-                rel = relative_metrics(result, baseline)
-                accumulator[fraction].append((rel["area"], rel["error_rate"]))
+            for fraction, area, error_rate in points:
+                accumulator[fraction].append((area, error_rate))
         if not any(accumulator.values()):
             continue  # every family member was degenerate; nothing to report
         trajectories[cf] = [
@@ -203,9 +281,11 @@ def threshold_sweep(
     thresholds: list[float],
     *,
     objective: str = "area",
+    jobs: int = 1,
 ) -> list[FlowResult]:
     """LC^f-threshold ablation: results across the threshold knob."""
-    return [
-        run_flow(spec, "cfactor", threshold=threshold, objective=objective)
+    tasks = [
+        (spec, "cfactor", {"threshold": threshold, "objective": objective})
         for threshold in thresholds
     ]
+    return parallel_map(_run_flow_task, tasks, jobs)

@@ -1,0 +1,27 @@
+"""Performance substrate: content-addressed minimisation caching.
+
+See :mod:`repro.perf.cache` for the memo consulted by
+:func:`repro.espresso.minimize.espresso` and
+:func:`repro.espresso.minimize.minimize_spec`, and
+:doc:`docs/performance.md </docs/performance>` for the design notes.
+"""
+
+from .cache import (
+    MinimizationCache,
+    cache_stats,
+    configure_cache,
+    cover_key,
+    global_cache,
+    reset_cache,
+    spec_key,
+)
+
+__all__ = [
+    "MinimizationCache",
+    "cache_stats",
+    "configure_cache",
+    "cover_key",
+    "global_cache",
+    "reset_cache",
+    "spec_key",
+]

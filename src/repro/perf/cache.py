@@ -1,0 +1,157 @@
+"""Content-addressed memoisation for minimisation results.
+
+The sweep drivers of :mod:`repro.flows` re-run the whole ESPRESSO +
+synthesis flow per sweep point, and many points share work: the fraction-0
+baseline is recomputed per family member, adjacent sweep points often
+assign DCs identically for some outputs, and every output of a spec is
+minimised independently.  This module provides a process-wide,
+content-addressed memo so identical minimisation problems are solved once.
+
+Keys are BLAKE2b digests of the *content* of the problem (phase arrays or
+cover bytes plus their shapes) combined with an options digest, so two
+:class:`~repro.core.spec.FunctionSpec` objects with different names but
+identical truth tables share an entry.  Values are treated as immutable:
+cached cover arrays are marked read-only before they are stored.
+
+Observability: :func:`cache_stats` exposes hit/miss/eviction counters,
+:func:`reset_cache` clears both entries and counters, and
+:func:`configure_cache` turns the memo off or bounds its size.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from typing import Any
+
+import numpy as np
+
+__all__ = [
+    "MinimizationCache",
+    "cache_stats",
+    "configure_cache",
+    "cover_key",
+    "global_cache",
+    "reset_cache",
+    "spec_key",
+]
+
+_OPTIONS_VERSION = b"espresso-v1"
+"""Bump when the minimiser's semantics change, invalidating old digests."""
+
+
+def _digest(*parts: bytes) -> str:
+    hasher = hashlib.blake2b(digest_size=16)
+    for part in parts:
+        hasher.update(part)
+        hasher.update(b"\x00")
+    return hasher.hexdigest()
+
+
+def cover_key(on_cubes: np.ndarray, dc_cubes: np.ndarray, num_inputs: int) -> str:
+    """Content key of one ``espresso(on, dc)`` problem."""
+    return _digest(
+        _OPTIONS_VERSION,
+        b"cover",
+        repr((num_inputs, on_cubes.shape, dc_cubes.shape)).encode(),
+        np.ascontiguousarray(on_cubes).tobytes(),
+        np.ascontiguousarray(dc_cubes).tobytes(),
+    )
+
+
+def spec_key(phases: np.ndarray, options: tuple = ()) -> str:
+    """Content key of one ``minimize_spec`` problem (phases + options)."""
+    return _digest(
+        _OPTIONS_VERSION,
+        b"spec",
+        repr((phases.shape, options)).encode(),
+        np.ascontiguousarray(phases).tobytes(),
+    )
+
+
+class MinimizationCache:
+    """A bounded LRU memo with hit/miss counters.
+
+    Not thread-safe by design: the minimiser itself is single-threaded and
+    the parallel sweep executor uses processes, each with its own cache.
+    """
+
+    def __init__(self, maxsize: int = 4096, enabled: bool = True):
+        self.maxsize = maxsize
+        self.enabled = enabled
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._store: OrderedDict[str, Any] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def get(self, key: str) -> Any | None:
+        """The cached value for *key*, or None; counts a hit or a miss."""
+        if not self.enabled:
+            return None
+        value = self._store.get(key)
+        if value is None:
+            self.misses += 1
+            return None
+        self._store.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def put(self, key: str, value: Any) -> None:
+        """Insert *value* under *key*, evicting the oldest entry when full."""
+        if not self.enabled:
+            return
+        self._store[key] = value
+        self._store.move_to_end(key)
+        while len(self._store) > self.maxsize:
+            self._store.popitem(last=False)
+            self.evictions += 1
+
+    def clear(self) -> None:
+        """Drop all entries and reset the counters."""
+        self._store.clear()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def stats(self) -> dict[str, float]:
+        """Hit/miss/eviction counters plus the current size and hit rate."""
+        total = self.hits + self.misses
+        return {
+            "enabled": self.enabled,
+            "entries": len(self._store),
+            "maxsize": self.maxsize,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": self.hits / total if total else 0.0,
+        }
+
+
+global_cache = MinimizationCache()
+"""The process-wide memo consulted by ``espresso`` and ``minimize_spec``."""
+
+
+def cache_stats() -> dict[str, float]:
+    """Counters of the process-wide minimisation cache."""
+    return global_cache.stats()
+
+
+def reset_cache() -> None:
+    """Clear the process-wide cache and zero its counters."""
+    global_cache.clear()
+
+
+def configure_cache(*, enabled: bool | None = None, maxsize: int | None = None) -> None:
+    """Enable/disable the process-wide cache or change its capacity."""
+    if enabled is not None:
+        global_cache.enabled = enabled
+    if maxsize is not None:
+        if maxsize < 1:
+            raise ValueError("maxsize must be positive")
+        global_cache.maxsize = maxsize
+        while len(global_cache._store) > maxsize:
+            global_cache._store.popitem(last=False)
+            global_cache.evictions += 1

@@ -217,3 +217,31 @@ class TestSpecBridge:
         spec = FunctionSpec.from_sets(3, on_sets=[[1]])
         with pytest.raises(ValueError, match="variable count"):
             spec_sets(BddManager(2), spec, 0)
+
+
+class TestDeepBdds:
+    """The iterative ite/sat_count/restrict walks must survive BDDs whose
+    depth far exceeds Python's recursion limit."""
+
+    def test_deep_conjunction(self):
+        import sys
+
+        n = sys.getrecursionlimit() + 500
+        mgr = BddManager(n)
+        f = mgr.conjoin(mgr.var(i) for i in range(n))
+        assert mgr.sat_count(f) == 1
+        assert mgr.evaluate(f, [True] * n)
+        assert not mgr.evaluate(f, [True] * (n - 1) + [False])
+
+    def test_deep_restrict_and_ops(self):
+        import sys
+
+        n = sys.getrecursionlimit() + 500
+        mgr = BddManager(n)
+        f = mgr.conjoin(mgr.var(i) for i in range(n))
+        g = mgr.restrict(f, 0, True)
+        assert 0 not in mgr.support(g)
+        assert mgr.sat_count(g) == 2  # variable 0 became free
+        # De Morgan on the deep function: ~(AND xs) == OR ~xs.
+        h = mgr.disjoin(mgr.nvar(i) for i in range(n))
+        assert mgr.apply_xor(mgr.apply_not(f), h) == mgr.zero

@@ -1,0 +1,50 @@
+"""Tests for the parallel sweep executor."""
+
+import numpy as np
+
+from repro.benchgen import mcnc_benchmark
+from repro.flows.sweep import (
+    _run_flow_task,
+    fraction_sweep,
+    parallel_map,
+    threshold_sweep,
+)
+
+
+def _square(x: int) -> int:
+    return x * x
+
+
+class TestParallelMap:
+    def test_serial_and_parallel_agree(self):
+        tasks = list(range(10))
+        assert parallel_map(_square, tasks, 1) == parallel_map(_square, tasks, 3)
+
+    def test_order_is_deterministic(self):
+        assert parallel_map(_square, [3, 1, 2], 2) == [9, 1, 4]
+
+    def test_single_task_stays_in_process(self):
+        assert parallel_map(_square, [4], 8) == [16]
+
+
+class TestParallelSweeps:
+    def test_fraction_sweep_parallel_matches_serial(self):
+        spec = mcnc_benchmark("fout")
+        fractions = [0.0, 0.5, 1.0]
+        serial = fraction_sweep(spec, fractions, objective="area", jobs=1)
+        parallel = fraction_sweep(spec, fractions, objective="area", jobs=2)
+        assert serial == parallel  # FlowResult is a frozen dataclass
+        assert [r.parameter for r in parallel] == fractions
+
+    def test_threshold_sweep_parallel_matches_serial(self):
+        spec = mcnc_benchmark("fout")
+        thresholds = [0.4, 0.8]
+        serial = threshold_sweep(spec, thresholds, objective="area", jobs=1)
+        parallel = threshold_sweep(spec, thresholds, objective="area", jobs=2)
+        assert serial == parallel
+
+    def test_run_flow_task_trampoline(self):
+        spec = mcnc_benchmark("fout")
+        result = _run_flow_task((spec, "ranking", {"fraction": 0.5, "objective": "area"}))
+        assert result.policy == "ranking"
+        assert result.parameter == 0.5

@@ -1,0 +1,122 @@
+"""Tests for the content-addressed minimization cache."""
+
+import numpy as np
+import pytest
+
+from repro.core.spec import FunctionSpec
+from repro.espresso.cube import Cover
+from repro.espresso.minimize import espresso, minimize_spec
+from repro.perf import (
+    MinimizationCache,
+    cache_stats,
+    configure_cache,
+    cover_key,
+    global_cache,
+    reset_cache,
+    spec_key,
+)
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    reset_cache()
+    yield
+    reset_cache()
+    configure_cache(enabled=True, maxsize=4096)
+
+
+class TestKeys:
+    def test_cover_key_is_content_addressed(self):
+        on1 = Cover.from_minterms(4, [1, 3, 5])
+        on2 = Cover.from_minterms(4, [1, 3, 5])
+        dc = Cover.empty(4)
+        assert cover_key(on1.cubes, dc.cubes, 4) == cover_key(on2.cubes, dc.cubes, 4)
+
+    def test_cover_key_separates_on_and_dc(self):
+        a = Cover.from_minterms(3, [1])
+        b = Cover.from_minterms(3, [2])
+        empty = Cover.empty(3)
+        assert cover_key(a.cubes, b.cubes, 3) != cover_key(b.cubes, a.cubes, 3)
+        assert cover_key(a.cubes, empty.cubes, 3) != cover_key(empty.cubes, a.cubes, 3)
+
+    def test_spec_key_ignores_name_but_not_phases(self):
+        s1 = FunctionSpec.from_sets(3, on_sets=[[1, 2]], dc_sets=[[5]], name="x")
+        s2 = FunctionSpec.from_sets(3, on_sets=[[1, 2]], dc_sets=[[5]], name="y")
+        s3 = FunctionSpec.from_sets(3, on_sets=[[1, 2]], dc_sets=[[6]], name="x")
+        assert spec_key(s1.phases) == spec_key(s2.phases)
+        assert spec_key(s1.phases) != spec_key(s3.phases)
+
+    def test_spec_key_options_digest(self):
+        s = FunctionSpec.from_sets(3, on_sets=[[1]])
+        assert spec_key(s.phases, ("a",)) != spec_key(s.phases, ("b",))
+
+
+class TestCacheMechanics:
+    def test_lru_eviction(self):
+        cache = MinimizationCache(maxsize=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # refresh a
+        cache.put("c", 3)  # evicts b
+        assert cache.get("b") is None
+        assert cache.get("a") == 1
+        assert cache.get("c") == 3
+        assert cache.evictions == 1
+
+    def test_disabled_cache_is_inert(self):
+        cache = MinimizationCache(enabled=False)
+        cache.put("a", 1)
+        assert cache.get("a") is None
+        assert len(cache) == 0
+        assert cache.stats()["hits"] == 0
+
+    def test_stats_shape(self):
+        stats = cache_stats()
+        for field in ("enabled", "entries", "hits", "misses", "evictions", "hit_rate"):
+            assert field in stats
+
+
+class TestEspressoMemo:
+    def test_espresso_hits_on_identical_problem(self):
+        on = Cover.from_minterms(5, [1, 3, 7, 12, 19])
+        dc = Cover.from_minterms(5, [4, 9])
+        first = espresso(on, dc)
+        before = cache_stats()["hits"]
+        second = espresso(on, dc)
+        assert cache_stats()["hits"] == before + 1
+        assert second is first  # shared, read-only result
+        assert not second.cubes.flags.writeable
+
+    def test_cached_result_is_correct_for_rebuilt_inputs(self):
+        on1 = Cover.from_minterms(4, [0, 5, 10])
+        dc1 = Cover.from_minterms(4, [2])
+        result1 = espresso(on1, dc1)
+        on2 = Cover.from_minterms(4, [0, 5, 10])
+        dc2 = Cover.from_minterms(4, [2])
+        result2 = espresso(on2, dc2)
+        assert np.array_equal(result1.cubes, result2.cubes)
+
+    def test_minimize_spec_memoises_on_phases(self):
+        spec_a = FunctionSpec.from_sets(
+            4, on_sets=[[1, 3], [0, 2]], dc_sets=[[5], []], name="a"
+        )
+        spec_b = FunctionSpec.from_sets(
+            4, on_sets=[[1, 3], [0, 2]], dc_sets=[[5], []], name="b"
+        )
+        first = minimize_spec(spec_a)
+        hits_before = cache_stats()["hits"]
+        second = minimize_spec(spec_b)
+        assert cache_stats()["hits"] > hits_before
+        # Memoised covers, but the caller's spec identity is preserved.
+        assert second.spec is spec_b
+        assert spec_b.equivalent_within_dc(second.completed_spec())
+        assert first.total_cubes == second.total_cubes
+
+    def test_disabled_global_cache_still_correct(self):
+        configure_cache(enabled=False)
+        on = Cover.from_minterms(4, [1, 2, 3])
+        result1 = espresso(on)
+        result2 = espresso(on)
+        assert np.array_equal(result1.cubes, result2.cubes)
+        assert cache_stats()["hits"] == 0
+        assert len(global_cache) == 0
