@@ -60,11 +60,19 @@ def _timings(benchmark):
 @pytest.fixture(scope="module", autouse=True)
 def _persist_results():
     """Write everything the benchmarks recorded to BENCH_substrate.json."""
+    from repro.obs import collect_manifest
+
     _RESULTS.clear()
     _RESULTS["generated_by"] = "benchmarks/bench_substrate_perf.py"
     _RESULTS["cpus"] = _available_cpus()
+    manifest = collect_manifest("bench_substrate_perf")
+    start = time.perf_counter()
     yield
     if len(_RESULTS) > 2:
+        # Provenance: which revision/library versions produced the numbers.
+        manifest.duration_seconds = time.perf_counter() - start
+        manifest.exit_status = 0
+        _RESULTS["manifest"] = manifest.to_dict()
         BENCH_FILE.write_text(json.dumps(_RESULTS, indent=2, sort_keys=True) + "\n")
 
 

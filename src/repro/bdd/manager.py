@@ -23,6 +23,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..obs import metrics as obs_metrics
+
 __all__ = ["BddManager", "BddNode"]
 
 
@@ -57,6 +59,11 @@ class BddManager:
         ]
         self._unique: dict[tuple[int, int, int], int] = {}
         self._ite_cache: dict[tuple[int, int, int], int] = {}
+        # Aggregated across managers; the handles are fetched once here so
+        # the interning hot path pays one attribute access per new node.
+        self._obs_nodes = obs_metrics.counter("bdd.nodes_created")
+        self._obs_ite = obs_metrics.counter("bdd.ite_calls")
+        obs_metrics.counter("bdd.managers_created").inc()
 
     # ------------------------------------------------------------- structure
 
@@ -86,6 +93,7 @@ class BddManager:
             ref = len(self._nodes)
             self._nodes.append(BddNode(var, lo, hi))
             self._unique[key] = ref
+            self._obs_nodes.inc()
         return ref
 
     # ------------------------------------------------------------ base funcs
@@ -127,6 +135,7 @@ class BddManager:
         computed table, so deep BDDs (variable counts far beyond Python's
         recursion limit) are handled without recursion.
         """
+        self._obs_ite.inc()
         terminal = self._ite_terminal(f, g, h)
         if terminal is not None:
             return terminal

@@ -19,13 +19,23 @@ Commands
 
 Positional benchmark arguments accept either a ``.pla`` path or a Table 1
 stand-in name (``bench``, ``ex1010``, ...).
+
+Observability flags (every subcommand, see ``docs/observability.md``):
+``--trace FILE`` records tracing spans (JSONL, or Chrome/Perfetto JSON
+for ``.json`` paths), ``--metrics-out FILE`` writes the merged metrics
+snapshot with an embedded run manifest, ``--manifest FILE`` writes the
+bare manifest, and ``--progress`` renders a live done/total + ETA line
+on stderr for sweeps.  ``repro --version`` prints the package version;
+``repro info BENCH --json`` emits machine-readable properties.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
+from . import __version__
 from .benchgen import benchmark_names, generate_spec, mcnc_benchmark
 from .core.complexity import spec_complexity_factor, spec_expected_complexity_factor
 from .core.estimates import estimate_report
@@ -51,6 +61,18 @@ def _load_spec(token: str) -> FunctionSpec:
 def _cmd_info(args: argparse.Namespace) -> int:
     spec = _load_spec(args.benchmark)
     bounds = exact_error_bounds(spec)
+    if args.json:
+        print(json.dumps({
+            "name": spec.name,
+            "inputs": spec.num_inputs,
+            "outputs": spec.num_outputs,
+            "dc_fraction": spec.dc_fraction(),
+            "complexity_factor": spec_complexity_factor(spec),
+            "expected_complexity_factor": spec_expected_complexity_factor(spec),
+            "exact_error_min": bounds.lo,
+            "exact_error_max": bounds.hi,
+        }, indent=2, sort_keys=True))
+        return 0
     rows = [
         ["name", spec.name],
         ["inputs", spec.num_inputs],
@@ -131,8 +153,15 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
     spec = _load_spec(args.benchmark)
     fractions = [i / (args.points - 1) for i in range(args.points)]
+    session = getattr(args, "_obs_session", None)
+    progress = (
+        session.progress_reporter(total=len(fractions), label="sweep")
+        if session is not None
+        else None
+    )
     results = fraction_sweep(
-        spec, fractions, objective=args.objective, jobs=args.jobs
+        spec, fractions, objective=args.objective, jobs=args.jobs,
+        progress=progress,
     )
     baseline = results[0] if fractions and fractions[0] == 0.0 else run_flow(
         spec, "ranking", fraction=0.0, objective=args.objective
@@ -147,8 +176,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if args.cache_stats:
         stats = cache_stats()
         print(
-            f"minimization cache: {stats['hits']} hits / {stats['misses']} misses "
-            f"(hit rate {100 * stats['hit_rate']:.1f}%, {stats['entries']} entries)"
+            f"minimization cache: {stats.hits} hits / {stats.misses} misses "
+            f"(hit rate {100 * stats.hit_rate:.1f}%, {stats.entries} entries)"
         )
     return 0
 
@@ -210,12 +239,36 @@ def _cmd_gen(args: argparse.Namespace) -> int:
     return 0
 
 
+def _obs_parent() -> argparse.ArgumentParser:
+    """Shared observability flags, attached to every subcommand."""
+    parent = argparse.ArgumentParser(add_help=False)
+    group = parent.add_argument_group("observability")
+    group.add_argument("--trace", metavar="FILE", default=None,
+                       help="record tracing spans (JSONL; .json = Chrome/"
+                            "Perfetto trace_event format)")
+    group.add_argument("--metrics-out", metavar="FILE", default=None,
+                       help="write the merged metrics snapshot plus an "
+                            "embedded run manifest as JSON")
+    group.add_argument("--manifest", metavar="FILE", default=None,
+                       help="write the run manifest (args, seed, git rev, "
+                            "versions, timings) as JSON")
+    group.add_argument("--progress", action="store_true",
+                       help="render live done/total + ETA on stderr")
+    return parent
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Reliability-driven don't care assignment (DATE 2011 reproduction)",
     )
+    parser.add_argument("--version", action="version",
+                        version=f"%(prog)s {__version__}")
+    obs_parent = _obs_parent()
     sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_parser(name: str, **kwargs) -> argparse.ArgumentParser:
+        return sub.add_parser(name, parents=[obs_parent], **kwargs)
 
     def add_policy_args(p: argparse.ArgumentParser) -> None:
         p.add_argument("--policy", default="conventional",
@@ -225,17 +278,19 @@ def _build_parser() -> argparse.ArgumentParser:
         p.add_argument("--threshold", type=float, default=0.55,
                        help="LC^f threshold (policy=cfactor)")
 
-    p_info = sub.add_parser("info", help="benchmark properties")
+    p_info = add_parser("info", help="benchmark properties")
     p_info.add_argument("benchmark")
+    p_info.add_argument("--json", action="store_true",
+                        help="machine-readable JSON instead of the table")
     p_info.set_defaults(func=_cmd_info)
 
-    p_assign = sub.add_parser("assign", help="apply a DC-assignment policy")
+    p_assign = add_parser("assign", help="apply a DC-assignment policy")
     p_assign.add_argument("benchmark")
     add_policy_args(p_assign)
     p_assign.add_argument("-o", "--output", help="write assigned PLA here")
     p_assign.set_defaults(func=_cmd_assign)
 
-    p_synth = sub.add_parser("synth", help="run the full synthesis flow")
+    p_synth = add_parser("synth", help="run the full synthesis flow")
     p_synth.add_argument("benchmark")
     add_policy_args(p_synth)
     p_synth.add_argument("--objective", default="delay",
@@ -243,11 +298,11 @@ def _build_parser() -> argparse.ArgumentParser:
     p_synth.add_argument("--verilog", help="also write the mapped netlist here")
     p_synth.set_defaults(func=_cmd_synth)
 
-    p_est = sub.add_parser("estimate", help="min-max reliability estimates")
+    p_est = add_parser("estimate", help="min-max reliability estimates")
     p_est.add_argument("benchmark")
     p_est.set_defaults(func=_cmd_estimate)
 
-    p_sweep = sub.add_parser("sweep", help="ranking-fraction sweep")
+    p_sweep = add_parser("sweep", help="ranking-fraction sweep")
     p_sweep.add_argument("benchmark")
     p_sweep.add_argument("--objective", default="power",
                          choices=["delay", "power", "area"])
@@ -258,7 +313,7 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="print minimization-cache hit/miss counters")
     p_sweep.set_defaults(func=_cmd_sweep)
 
-    p_nodal = sub.add_parser(
+    p_nodal = add_parser(
         "nodal", help="internal-DC extraction and reassignment (Sec. 4)"
     )
     p_nodal.add_argument("benchmark")
@@ -269,13 +324,13 @@ def _build_parser() -> argparse.ArgumentParser:
     p_nodal.add_argument("--k", type=int, default=6, help="renode fanin bound")
     p_nodal.set_defaults(func=_cmd_nodal)
 
-    p_export = sub.add_parser("export", help="write figure/table data as CSV")
+    p_export = add_parser("export", help="write figure/table data as CSV")
     p_export.add_argument("directory")
     p_export.add_argument("--benchmarks", nargs="*", default=None,
                           help="benchmark names (default: a fast subset)")
     p_export.set_defaults(func=_cmd_export)
 
-    p_gen = sub.add_parser("gen", help="generate a synthetic benchmark")
+    p_gen = add_parser("gen", help="generate a synthetic benchmark")
     p_gen.add_argument("--name", default="synthetic")
     p_gen.add_argument("--inputs", type=int, required=True)
     p_gen.add_argument("--outputs", type=int, required=True)
@@ -289,10 +344,17 @@ def _build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point."""
+    from .obs import ObsSession
+
     parser = _build_parser()
     args = parser.parse_args(argv)
+    session = ObsSession.from_args(args.command, args, argv=argv)
+    args._obs_session = session
     try:
-        return args.func(args)
+        with session:
+            status = args.func(args)
+            session.exit_status = status
+        return status
     except BrokenPipeError:  # e.g. piped into `head`
         try:
             sys.stdout.close()

@@ -13,6 +13,8 @@ from __future__ import annotations
 import numpy as np
 
 from ..core.spec import FunctionSpec
+from ..obs import metrics as obs_metrics
+from ..obs import span
 from ..perf.cache import cover_key, global_cache, spec_key
 from .cube import FREE, Cover, pack_cubes
 from .expand import _expand_cube, expand
@@ -100,28 +102,46 @@ def espresso(on: Cover, dc: Cover | None = None) -> Cover:
     cached = global_cache.get(key)
     if cached is not None:
         return cached
-    off = complement(on.union(dc))
-    cover = expand(on, off)
-    cover = irredundant(cover, dc)
-    best = cover
-    gasped = False
-    for _ in range(_MAX_ITERATIONS):
-        cost = best.cost()
-        cover = reduce_cover(cover, dc)
-        cover = expand(cover, off)
-        cover = irredundant(cover, dc)
-        if cover.cost() < cost:
-            best = cover
-            continue
-        if gasped:
-            break
-        # Converged: one LAST_GASP attempt to escape a cyclic local minimum.
-        gasped = True
-        cover = _last_gasp(best, dc, off)
-        if cover.cost() < cost:
-            best = cover
-        else:
-            break
+    obs_metrics.counter("espresso.calls").inc()
+    obs_metrics.counter("espresso.cubes_in").inc(on.num_cubes)
+    iterations = 0
+    with span("espresso", num_inputs=num_inputs, cubes_in=on.num_cubes) as sp:
+        with span("espresso.complement", cubes=on.num_cubes):
+            off = complement(on.union(dc))
+        with span("espresso.expand", cubes=on.num_cubes):
+            cover = expand(on, off)
+        with span("espresso.irredundant", cubes=cover.num_cubes):
+            cover = irredundant(cover, dc)
+        best = cover
+        gasped = False
+        for _ in range(_MAX_ITERATIONS):
+            iterations += 1
+            cost = best.cost()
+            with span("espresso.reduce", cubes=cover.num_cubes):
+                cover = reduce_cover(cover, dc)
+            with span("espresso.expand", cubes=cover.num_cubes):
+                cover = expand(cover, off)
+            with span("espresso.irredundant", cubes=cover.num_cubes):
+                cover = irredundant(cover, dc)
+            if cover.cost() < cost:
+                best = cover
+                continue
+            if gasped:
+                break
+            # Converged: one LAST_GASP attempt to escape a cyclic local minimum.
+            gasped = True
+            with span("espresso.last_gasp", cubes=best.num_cubes):
+                cover = _last_gasp(best, dc, off)
+            if cover.cost() < cost:
+                best = cover
+            else:
+                break
+        sp.set(cubes_out=best.num_cubes, iterations=iterations)
+    obs_metrics.counter("espresso.iterations").inc(iterations)
+    obs_metrics.counter("espresso.cubes_out").inc(best.num_cubes)
+    obs_metrics.histogram(
+        "espresso.iterations_per_call", bounds=(1, 2, 3, 5, 8, 13, 20)
+    ).observe(iterations)
     best.cubes.setflags(write=False)
     global_cache.put(key, best)
     return best
@@ -169,10 +189,15 @@ def minimize_spec(spec: FunctionSpec) -> MinimizedFunction:
     key = spec_key(spec.phases)
     covers = global_cache.get(key)
     if covers is None:
-        covers = []
-        for out in range(spec.num_outputs):
-            on = Cover.from_minterms(spec.num_inputs, spec.on_set(out))
-            dc = Cover.from_minterms(spec.num_inputs, spec.dc_set(out))
-            covers.append(espresso(on, dc))
+        obs_metrics.counter("minimize_spec.calls").inc()
+        with span(
+            "minimize_spec", name=spec.name, outputs=spec.num_outputs,
+            inputs=spec.num_inputs,
+        ):
+            covers = []
+            for out in range(spec.num_outputs):
+                on = Cover.from_minterms(spec.num_inputs, spec.on_set(out))
+                dc = Cover.from_minterms(spec.num_inputs, spec.dc_set(out))
+                covers.append(espresso(on, dc))
         global_cache.put(key, covers)
     return MinimizedFunction(spec, list(covers))

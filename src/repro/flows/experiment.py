@@ -16,6 +16,8 @@ from ..core.assignment import Assignment
 from ..core.cfactor import DEFAULT_THRESHOLD, cfactor_assignment
 from ..core.ranking import complete_assignment, ranking_assignment
 from ..core.spec import FunctionSpec
+from ..obs import metrics as obs_metrics
+from ..obs import span
 from ..synth.compile_ import SynthesisResult, compile_spec
 from ..synth.library import Library
 
@@ -87,12 +89,17 @@ def run_flow(
     library: Library | None = None,
 ) -> FlowResult:
     """Apply a policy and synthesise, returning all measurements."""
-    assigned, assignment = apply_policy(
-        spec, policy, fraction=fraction, threshold=threshold
-    )
-    result: SynthesisResult = compile_spec(
-        assigned, objective=objective, library=library, source_spec=spec
-    )
+    obs_metrics.counter("flow.runs").inc()
+    with span(
+        "flow.run", benchmark=spec.name, policy=policy, objective=objective
+    ):
+        with span("flow.apply_policy", policy=policy):
+            assigned, assignment = apply_policy(
+                spec, policy, fraction=fraction, threshold=threshold
+            )
+        result: SynthesisResult = compile_spec(
+            assigned, objective=objective, library=library, source_spec=spec
+        )
     if policy == "ranking":
         parameter = fraction
     elif policy == "cfactor":

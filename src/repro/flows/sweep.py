@@ -18,13 +18,23 @@ drivers accept a ``jobs`` argument and fan the points out over a
 parallel sweep is bit-identical to the serial one.  ``jobs <= 1`` runs
 in-process, which additionally shares the minimisation cache of
 :mod:`repro.perf` across points.
+
+Observability: each worker task measures its own tracing spans and
+metrics delta and ships them back with the result; the parent merges
+them into its tracer / registry, so ``--trace`` and ``--metrics-out``
+see the whole fleet, not just the parent process.  A ``progress``
+callback (``callback(done, total)``) fires as points complete, and a
+worker crash surfaces as :class:`SweepPointError` carrying the failing
+point's parameters and the worker's traceback instead of a bare pickled
+stack.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
+import traceback as _traceback
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass
-from typing import Callable, Iterable, Sequence, TypeVar
+from typing import Any, Callable, Iterable, Sequence, TypeVar
 
 import numpy as np
 
@@ -33,9 +43,13 @@ from ..core.cfactor import DEFAULT_THRESHOLD, cfactor_assignment
 from ..core.estimates import border_bounds, signal_probability_bounds
 from ..core.reliability import ErrorBounds, exact_error_bounds
 from ..core.spec import FunctionSpec
+from ..obs import metrics as obs_metrics
+from ..obs import trace as obs_trace
+from ..obs import span
 from .experiment import FlowResult, relative_metrics, run_flow
 
 __all__ = [
+    "SweepPointError",
     "fraction_sweep",
     "family_tradeoff",
     "parallel_map",
@@ -49,24 +63,138 @@ __all__ = [
 _T = TypeVar("_T")
 _R = TypeVar("_R")
 
+ProgressCallback = Callable[[int, int], None]
+"""``callback(done, total)`` — invoked after every completed point."""
+
+
+class SweepPointError(RuntimeError):
+    """A sweep point failed in a worker process.
+
+    Attributes:
+        index: position of the failing point in the task list.
+        point: the task that failed (e.g. the ``(spec, policy, kwargs)``
+            tuple of a flow sweep), so the parameters that triggered the
+            crash are on the exception instead of buried in a pickled
+            traceback.
+        worker_traceback: the worker-side formatted traceback.
+    """
+
+    def __init__(self, index: int, point: Any, message: str,
+                 worker_traceback: str):
+        self.index = index
+        self.point = point
+        self.worker_traceback = worker_traceback
+        super().__init__(
+            f"sweep point {index} ({_describe_point(point)}) failed: "
+            f"{message}\n--- worker traceback ---\n{worker_traceback}"
+        )
+
+
+def _describe_point(point: Any) -> str:
+    """A compact, parameter-first description of one sweep task."""
+    if (
+        isinstance(point, tuple)
+        and len(point) == 3
+        and isinstance(point[1], str)
+        and isinstance(point[2], dict)
+    ):
+        spec, policy, kwargs = point
+        name = getattr(spec, "name", spec)
+        args = ", ".join(f"{key}={value!r}" for key, value in kwargs.items())
+        return f"benchmark={name}, policy={policy}, {args}"
+    text = repr(point)
+    return text if len(text) <= 120 else text[:117] + "..."
+
+
+def _obs_worker(payload: tuple) -> tuple:
+    """Run one task in a worker, capturing its trace/metrics delta.
+
+    Pool workers are long-lived and serve many tasks, so the metrics
+    delta is the difference of snapshots around this task and the trace
+    buffer is cleared per task — a reused worker never double-reports.
+    Exceptions are converted into an ``("error", ...)`` outcome so the
+    parent can attach the failing point's parameters.
+    """
+    func, task, index, traced = payload
+    before = obs_metrics.metrics_snapshot()
+    tracer = obs_trace.enable_tracing() if traced else None
+    try:
+        with span("sweep.point", index=index):
+            result = func(task)
+        outcome = ("ok", index, result)
+    except Exception as exc:  # noqa: BLE001 - reported to the parent
+        outcome = ("error", index, f"{type(exc).__name__}: {exc}",
+                   _traceback.format_exc())
+    finally:
+        if traced:
+            obs_trace.disable_tracing()
+    records = tracer.snapshot(clear=True) if tracer is not None else []
+    delta = obs_metrics.diff_snapshots(obs_metrics.metrics_snapshot(), before)
+    return outcome + (delta, records)
+
 
 def parallel_map(
-    func: Callable[[_T], _R], tasks: Sequence[_T], jobs: int
+    func: Callable[[_T], _R],
+    tasks: Sequence[_T],
+    jobs: int,
+    *,
+    progress: ProgressCallback | None = None,
 ) -> list[_R]:
     """Map *func* over *tasks*, optionally across worker processes.
 
     Args:
         func: a picklable (module-level) callable.
         jobs: worker-process count; ``<= 1`` runs serially in-process.
+        progress: optional ``callback(done, total)`` fired as each task
+            completes (in completion order; results still return in
+            input order).
 
     Returns:
         Results in input order regardless of completion order, so callers
         see deterministic output either way.
+
+    Raises:
+        SweepPointError: when a worker task raises; the failing task's
+            parameters and the worker traceback ride on the exception.
     """
-    if jobs <= 1 or len(tasks) <= 1:
-        return [func(task) for task in tasks]
-    with ProcessPoolExecutor(max_workers=min(jobs, len(tasks))) as pool:
-        return list(pool.map(func, tasks))
+    total = len(tasks)
+    if jobs <= 1 or total <= 1:
+        results = []
+        for index, task in enumerate(tasks):
+            results.append(func(task))
+            if progress is not None:
+                progress(index + 1, total)
+        return results
+    traced = obs_trace.is_enabled()
+    results: list[Any] = [None] * total
+    done = 0
+    with ProcessPoolExecutor(max_workers=min(jobs, total)) as pool:
+        pending = {
+            pool.submit(_obs_worker, (func, task, index, traced))
+            for index, task in enumerate(tasks)
+        }
+        while pending:
+            completed, pending = wait(pending, return_when=FIRST_COMPLETED)
+            for future in completed:
+                outcome = future.result()
+                status, index = outcome[0], outcome[1]
+                delta, records = outcome[-2], outcome[-1]
+                obs_metrics.merge_snapshot(delta)
+                tracer = obs_trace.current_tracer()
+                if tracer is not None:
+                    tracer.ingest(records)
+                if status == "error":
+                    _, _, message, worker_tb, _, _ = outcome
+                    for other in pending:
+                        other.cancel()
+                    raise SweepPointError(
+                        index, tasks[index], message, worker_tb
+                    )
+                results[index] = outcome[2]
+                done += 1
+                if progress is not None:
+                    progress(done, total)
+    return results
 
 
 def _run_flow_task(task: tuple[FunctionSpec, str, dict]) -> FlowResult:
@@ -81,13 +209,17 @@ def fraction_sweep(
     *,
     objective: str = "delay",
     jobs: int = 1,
+    progress: ProgressCallback | None = None,
 ) -> list[FlowResult]:
     """Ranking-based results across assignment fractions (Figs. 4-5)."""
     tasks = [
         (spec, "ranking", {"fraction": fraction, "objective": objective})
         for fraction in fractions
     ]
-    return parallel_map(_run_flow_task, tasks, jobs)
+    with span(
+        "sweep.fraction", benchmark=spec.name, points=len(tasks), jobs=jobs
+    ):
+        return parallel_map(_run_flow_task, tasks, jobs, progress=progress)
 
 
 def _family_member_task(
@@ -124,6 +256,7 @@ def family_tradeoff(
     objective: str = "power",
     seed: int = 0,
     jobs: int = 1,
+    progress: ProgressCallback | None = None,
 ) -> dict[float, list[dict[str, float]]]:
     """Fig. 6: normalised (area, error rate) trajectories per C^f family.
 
@@ -154,11 +287,13 @@ def family_tradeoff(
                     ),
                 )
             )
-    trajectories_raw = parallel_map(
-        _family_member_task,
-        [(spec, fractions, objective) for _, spec in members],
-        jobs,
-    )
+    with span("sweep.family", members=len(members), jobs=jobs):
+        trajectories_raw = parallel_map(
+            _family_member_task,
+            [(spec, fractions, objective) for _, spec in members],
+            jobs,
+            progress=progress,
+        )
     trajectories: dict[float, list[dict[str, float]]] = {}
     for cf in complexity_factors:
         accumulator: dict[float, list[tuple[float, float]]] = {
@@ -282,10 +417,14 @@ def threshold_sweep(
     *,
     objective: str = "area",
     jobs: int = 1,
+    progress: ProgressCallback | None = None,
 ) -> list[FlowResult]:
     """LC^f-threshold ablation: results across the threshold knob."""
     tasks = [
         (spec, "cfactor", {"threshold": threshold, "objective": objective})
         for threshold in thresholds
     ]
-    return parallel_map(_run_flow_task, tasks, jobs)
+    with span(
+        "sweep.threshold", benchmark=spec.name, points=len(tasks), jobs=jobs
+    ):
+        return parallel_map(_run_flow_task, tasks, jobs, progress=progress)

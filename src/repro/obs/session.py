@@ -1,0 +1,147 @@
+"""Per-run observability session: the glue between CLI flags and obs.
+
+``ObsSession`` owns the lifetime of one command's observability: it
+enables tracing when a ``--trace`` path was given, hands out progress
+reporters for ``--progress``, and on exit writes the trace file, the
+metrics document (``--metrics-out``: merged metrics plus an embedded
+manifest) and the bare manifest (``--manifest``).  Files are written
+even when the command raises, so a failed run still leaves its trace
+behind.
+
+Use as a context manager::
+
+    session = ObsSession(command="sweep", argv=argv, parameters=params,
+                         trace_path="out.jsonl", metrics_path="m.json")
+    with session:
+        session.exit_status = run()
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from typing import Any, TextIO
+
+from .manifest import RunManifest, collect_manifest
+from .metrics import diff_snapshots, metrics_snapshot
+from .progress import ProgressReporter
+from .trace import Tracer, disable_tracing, enable_tracing
+
+__all__ = ["ObsSession"]
+
+
+class ObsSession:
+    """One command's tracing/metrics/manifest lifecycle."""
+
+    def __init__(
+        self,
+        command: str,
+        *,
+        argv: list[str] | None = None,
+        parameters: dict[str, Any] | None = None,
+        seed: int | None = None,
+        trace_path: str | None = None,
+        metrics_path: str | None = None,
+        manifest_path: str | None = None,
+        progress: bool = False,
+        stream: TextIO | None = None,
+    ):
+        self.command = command
+        self.trace_path = trace_path
+        self.metrics_path = metrics_path
+        self.manifest_path = manifest_path
+        self.progress_enabled = progress
+        self.stream = stream if stream is not None else sys.stderr
+        self.exit_status: int | None = None
+        self.tracer: Tracer | None = None
+        self.manifest: RunManifest = collect_manifest(
+            command, argv=argv, parameters=parameters, seed=seed
+        )
+        self._start = 0.0
+        self._metrics_baseline: dict[str, Any] = {}
+        self._reporters: list[ProgressReporter] = []
+
+    @classmethod
+    def from_args(cls, command: str, args: Any,
+                  argv: list[str] | None = None) -> "ObsSession":
+        """Build a session from a parsed ``argparse`` namespace.
+
+        Reads the shared observability flags (``trace``, ``metrics_out``,
+        ``manifest``, ``progress``) and records every other public
+        parameter in the manifest.
+        """
+        parameters = {
+            key: value
+            for key, value in vars(args).items()
+            if not key.startswith("_") and key not in ("func", "command")
+            and not callable(value)
+        }
+        return cls(
+            command,
+            argv=argv if argv is not None else sys.argv[1:],
+            parameters=parameters,
+            seed=getattr(args, "seed", None),
+            trace_path=getattr(args, "trace", None),
+            metrics_path=getattr(args, "metrics_out", None),
+            manifest_path=getattr(args, "manifest", None),
+            progress=bool(getattr(args, "progress", False)),
+        )
+
+    # ------------------------------------------------------------- progress
+
+    def progress_reporter(
+        self, total: int | None = None, label: str | None = None
+    ) -> ProgressReporter | None:
+        """A progress callback, or None when ``--progress`` wasn't given."""
+        if not self.progress_enabled:
+            return None
+        reporter = ProgressReporter(
+            total, label=label or self.command, stream=self.stream
+        )
+        self._reporters.append(reporter)
+        return reporter
+
+    # ------------------------------------------------------------ lifecycle
+
+    def __enter__(self) -> "ObsSession":
+        self._start = time.perf_counter()
+        # Baseline so the session reports only its own work, even when
+        # the process-wide registry already holds activity from an
+        # embedding host (e.g. a test process running many commands).
+        self._metrics_baseline = metrics_snapshot()
+        if self.trace_path:
+            self.tracer = enable_tracing()
+        return self
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> bool:
+        if self.tracer is not None:
+            disable_tracing()
+        for reporter in self._reporters:
+            reporter.finish()
+        self.manifest.duration_seconds = time.perf_counter() - self._start
+        if self.exit_status is None and exc_type is not None:
+            self.exit_status = 1
+        self.manifest.exit_status = self.exit_status
+        self.manifest.metrics = diff_snapshots(
+            metrics_snapshot(), self._metrics_baseline, keep_zero=True
+        )
+        self._write_outputs()
+        return False
+
+    def _write_outputs(self) -> None:
+        if self.tracer is not None and self.trace_path:
+            self.tracer.write(self.trace_path)
+        if self.metrics_path:
+            document = {
+                "schema_version": self.manifest.schema_version,
+                "generated_by": f"repro {self.command}",
+                "metrics": self.manifest.metrics,
+                "manifest": self.manifest.to_dict(),
+            }
+            with open(self.metrics_path, "w", encoding="utf-8") as handle:
+                json.dump(document, handle, indent=2, sort_keys=True,
+                          default=str)
+                handle.write("\n")
+        if self.manifest_path:
+            self.manifest.write(self.manifest_path)

@@ -1,0 +1,157 @@
+"""Schema validation for observability artefacts.
+
+Checks the three file kinds the CLI and benchmarks emit — JSONL /
+Chrome traces (``--trace``), metrics documents (``--metrics-out``) and
+run manifests (``--manifest``) — and reports every problem found.
+Runnable as a module, which is what the CI smoke job does::
+
+    python -m repro.obs.validate /tmp/t.jsonl /tmp/m.json
+
+Exit status 0 means every file validated; 1 means problems (listed on
+stderr); 2 means a file could not be read or decoded at all.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+from typing import Any
+
+from .manifest import validate_manifest
+
+__all__ = [
+    "validate_file",
+    "validate_metrics_document",
+    "validate_trace_events",
+    "validate_trace_jsonl",
+]
+
+_EVENT_PHASES = {"X", "M", "B", "E", "i", "C"}
+
+
+def _check_event(event: Any, where: str) -> list[str]:
+    problems: list[str] = []
+    if not isinstance(event, dict):
+        return [f"{where}: event must be an object, got {type(event).__name__}"]
+    if not isinstance(event.get("name"), str):
+        problems.append(f"{where}: missing string 'name'")
+    phase = event.get("ph")
+    if phase not in _EVENT_PHASES:
+        problems.append(f"{where}: 'ph' must be one of {sorted(_EVENT_PHASES)}")
+    if phase == "X":
+        for key in ("ts", "dur"):
+            if not isinstance(event.get(key), (int, float)):
+                problems.append(f"{where}: complete event needs numeric {key!r}")
+    for key in ("pid", "tid"):
+        if key in event and not isinstance(event[key], int):
+            problems.append(f"{where}: {key!r} must be an integer")
+    if "args" in event and not isinstance(event["args"], dict):
+        problems.append(f"{where}: 'args' must be an object")
+    return problems
+
+
+def validate_trace_events(events: Any, source: str = "trace") -> list[str]:
+    """Check a list of Chrome ``trace_event`` objects."""
+    if not isinstance(events, list):
+        return [f"{source}: traceEvents must be a list"]
+    problems: list[str] = []
+    if not events:
+        problems.append(f"{source}: trace contains no events")
+    for index, event in enumerate(events):
+        problems.extend(_check_event(event, f"{source}: event {index}"))
+    return problems
+
+
+def validate_trace_jsonl(path: str | Path) -> list[str]:
+    """Check a JSONL trace file line by line."""
+    problems: list[str] = []
+    events = 0
+    with open(path, "r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except json.JSONDecodeError as exc:
+                problems.append(f"{path}: line {lineno}: invalid JSON ({exc})")
+                continue
+            events += 1
+            problems.extend(_check_event(event, f"{path}: line {lineno}"))
+    if events == 0:
+        problems.append(f"{path}: trace contains no events")
+    return problems
+
+
+def validate_metrics_document(data: Any, source: str = "metrics") -> list[str]:
+    """Check a ``--metrics-out`` document (metrics + embedded manifest)."""
+    if not isinstance(data, dict):
+        return [f"{source}: document must be a JSON object"]
+    problems: list[str] = []
+    metrics = data.get("metrics")
+    if not isinstance(metrics, dict):
+        problems.append(f"{source}: missing 'metrics' object")
+    else:
+        for name, metric in metrics.items():
+            if not isinstance(metric, dict) or metric.get("type") not in (
+                "counter", "gauge", "histogram",
+            ):
+                problems.append(f"{source}: metric {name!r} malformed")
+    manifest = data.get("manifest")
+    if manifest is None:
+        problems.append(f"{source}: missing embedded 'manifest'")
+    else:
+        problems.extend(
+            f"{source}: manifest: {problem}"
+            for problem in validate_manifest(manifest)
+        )
+    return problems
+
+
+def validate_file(path: str | Path) -> list[str]:
+    """Validate one artefact, inferring its kind from content/extension.
+
+    ``.jsonl`` files are traces; ``.json`` files are classified by their
+    top-level keys (``traceEvents`` → Chrome trace, ``metrics`` →
+    metrics document, ``command`` → bare manifest).
+    """
+    path = Path(path)
+    if path.suffix == ".jsonl":
+        return validate_trace_jsonl(path)
+    with open(path, "r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    if isinstance(data, dict) and "traceEvents" in data:
+        return validate_trace_events(data["traceEvents"], str(path))
+    if isinstance(data, dict) and "metrics" in data and "command" not in data:
+        return validate_metrics_document(data, str(path))
+    problems = validate_manifest(data)
+    return [f"{path}: {problem}" for problem in problems]
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Validate every path given; print problems; return an exit status."""
+    paths = argv if argv is not None else sys.argv[1:]
+    if not paths:
+        print("usage: python -m repro.obs.validate FILE [FILE ...]",
+              file=sys.stderr)
+        return 2
+    status = 0
+    for path in paths:
+        try:
+            problems = validate_file(path)
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"{path}: unreadable ({exc})", file=sys.stderr)
+            status = 2
+            continue
+        if problems:
+            for problem in problems:
+                print(problem, file=sys.stderr)
+            status = max(status, 1)
+        else:
+            print(f"{path}: ok")
+    return status
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

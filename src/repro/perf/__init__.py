@@ -7,6 +7,7 @@ See :mod:`repro.perf.cache` for the memo consulted by
 """
 
 from .cache import (
+    CacheStats,
     MinimizationCache,
     cache_stats,
     configure_cache,
@@ -17,6 +18,7 @@ from .cache import (
 )
 
 __all__ = [
+    "CacheStats",
     "MinimizationCache",
     "cache_stats",
     "configure_cache",

@@ -13,20 +13,41 @@ cover bytes plus their shapes) combined with an options digest, so two
 identical truth tables share an entry.  Values are treated as immutable:
 cached cover arrays are marked read-only before they are stored.
 
-Observability: :func:`cache_stats` exposes hit/miss/eviction counters,
-:func:`reset_cache` clears both entries and counters, and
+Concurrency model
+-----------------
+
+The cache is **not thread-safe and does not need to be**: every consumer
+in this package is single-threaded, and the parallel sweep executor
+(:func:`repro.flows.sweep.parallel_map`) uses *processes*, each of which
+gets its own ``global_cache`` at import time.  Worker-process hit/miss
+activity therefore never races the parent's — it is reported back
+explicitly as a metrics delta with each result and merged by the parent
+(see :mod:`repro.obs.metrics`), which is why ``--metrics-out`` shows
+cache traffic from every process while the in-process counters here only
+ever see one.  If you embed the cache in a threaded host, wrap access in
+your own lock; the methods do not lock internally.
+
+Observability: :func:`cache_stats` returns a typed :class:`CacheStats`
+snapshot (dict-style access kept for compatibility), the counters are
+exported to the process-wide metrics registry under ``cache.*`` via a
+collector, :func:`reset_cache` clears both entries and counters, and
 :func:`configure_cache` turns the memo off or bounds its size.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import hashlib
 from collections import OrderedDict
-from typing import Any
+from dataclasses import dataclass
+from typing import Any, Iterator
 
 import numpy as np
 
+from ..obs import metrics as obs_metrics
+
 __all__ = [
+    "CacheStats",
     "MinimizationCache",
     "cache_stats",
     "configure_cache",
@@ -69,11 +90,52 @@ def spec_key(phases: np.ndarray, options: tuple = ()) -> str:
     )
 
 
+@dataclass(frozen=True)
+class CacheStats:
+    """One point-in-time snapshot of a cache's counters.
+
+    Supports both attribute access (``stats.hits``) and, for
+    compatibility with the original bare-dict API, dict-style access
+    (``stats["hits"]``, ``"hits" in stats``); :meth:`asdict` returns the
+    plain-dict form used by the ``--cache-stats`` output.
+    """
+
+    enabled: bool
+    entries: int
+    maxsize: int
+    hits: int
+    misses: int
+    evictions: int
+    hit_rate: float
+
+    def asdict(self) -> dict[str, Any]:
+        """The snapshot as a plain dict (the legacy ``stats()`` shape)."""
+        return dataclasses.asdict(self)
+
+    def __getitem__(self, key: str) -> Any:
+        try:
+            return getattr(self, key)
+        except AttributeError:
+            raise KeyError(key) from None
+
+    def __contains__(self, key: object) -> bool:
+        return isinstance(key, str) and hasattr(self, key)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.asdict())
+
+    def keys(self) -> Iterator[str]:
+        # Makes ``dict(stats)`` and ``{**stats}`` work like the old dict.
+        return iter(self.asdict())
+
+
 class MinimizationCache:
     """A bounded LRU memo with hit/miss counters.
 
-    Not thread-safe by design: the minimiser itself is single-threaded and
-    the parallel sweep executor uses processes, each with its own cache.
+    Not thread-safe by design (see the module docstring): the minimiser
+    itself is single-threaded and the parallel sweep executor uses
+    processes, each with its own cache instance whose counters are
+    merged back into the parent's metrics snapshot per task.
     """
 
     def __init__(self, maxsize: int = 4096, enabled: bool = True):
@@ -116,25 +178,25 @@ class MinimizationCache:
         self.misses = 0
         self.evictions = 0
 
-    def stats(self) -> dict[str, float]:
+    def stats(self) -> CacheStats:
         """Hit/miss/eviction counters plus the current size and hit rate."""
         total = self.hits + self.misses
-        return {
-            "enabled": self.enabled,
-            "entries": len(self._store),
-            "maxsize": self.maxsize,
-            "hits": self.hits,
-            "misses": self.misses,
-            "evictions": self.evictions,
-            "hit_rate": self.hits / total if total else 0.0,
-        }
+        return CacheStats(
+            enabled=self.enabled,
+            entries=len(self._store),
+            maxsize=self.maxsize,
+            hits=self.hits,
+            misses=self.misses,
+            evictions=self.evictions,
+            hit_rate=self.hits / total if total else 0.0,
+        )
 
 
 global_cache = MinimizationCache()
 """The process-wide memo consulted by ``espresso`` and ``minimize_spec``."""
 
 
-def cache_stats() -> dict[str, float]:
+def cache_stats() -> CacheStats:
     """Counters of the process-wide minimisation cache."""
     return global_cache.stats()
 
@@ -155,3 +217,23 @@ def configure_cache(*, enabled: bool | None = None, maxsize: int | None = None) 
         while len(global_cache._store) > maxsize:
             global_cache._store.popitem(last=False)
             global_cache.evictions += 1
+
+
+def _collect_cache_metrics() -> dict[str, dict[str, Any]]:
+    """Export the global cache's counters into metrics snapshots.
+
+    Registered as a collector so the cache's hot paths keep their plain
+    integer counters while every snapshot still absorbs them under the
+    ``cache.*`` namespace.
+    """
+    stats = global_cache.stats()
+    return {
+        "cache.hits": {"type": "counter", "value": stats.hits},
+        "cache.misses": {"type": "counter", "value": stats.misses},
+        "cache.evictions": {"type": "counter", "value": stats.evictions},
+        "cache.entries": {"type": "gauge", "value": stats.entries},
+        "cache.hit_rate": {"type": "gauge", "value": stats.hit_rate},
+    }
+
+
+obs_metrics.register_collector(_collect_cache_metrics)

@@ -24,6 +24,8 @@ from dataclasses import dataclass
 from ..core.reliability import error_rate
 from ..core.spec import FunctionSpec
 from ..espresso.minimize import minimize_spec
+from ..obs import metrics as obs_metrics
+from ..obs import span
 from .library import Library, generic_70nm_library
 from .mapping import map_graph
 from .netlist import MappedNetlist
@@ -82,22 +84,31 @@ def compile_network(
         raise ValueError(f"objective must be one of {_OBJECTIVES}, got {objective!r}")
     library = library or generic_70nm_library()
     if optimize:
-        optimize_network(network)
-    graph = build_subject_graph(network)
+        with span("synth.optimize", nodes=len(network.nodes)):
+            optimize_network(network)
+    with span("synth.subject_graph"):
+        graph = build_subject_graph(network)
     # Area-driven covering for every objective: a constant-load delay DP
     # picks oversized cells whose pin capacitance slows the whole netlist
     # down (measured), so the delay objective instead sizes the critical
     # path of an area-optimal covering — the standard industrial recipe.
-    netlist = map_graph(graph, library, mode="area")
+    with span("synth.map"):
+        netlist = map_graph(graph, library, mode="area")
     if objective == "delay":
-        upsize_critical(netlist, max_rounds=25)
-    implemented = netlist.to_spec(name=f"{spec.name}/impl")
-    if not spec.equivalent_within_dc(implemented):
-        raise ValueError(
-            f"synthesis self-check failed: netlist does not implement {spec.name}"
-        )
-    timing = static_timing(netlist)
-    power = power_analysis(netlist)
+        with span("synth.upsize_critical"):
+            upsize_critical(netlist, max_rounds=25)
+    with span("synth.selfcheck"):
+        implemented = netlist.to_spec(name=f"{spec.name}/impl")
+        if not spec.equivalent_within_dc(implemented):
+            raise ValueError(
+                f"synthesis self-check failed: netlist does not implement {spec.name}"
+            )
+    with span("synth.timing"):
+        timing = static_timing(netlist)
+    with span("synth.power"):
+        power = power_analysis(netlist)
+    obs_metrics.counter("synth.networks_compiled").inc()
+    obs_metrics.counter("synth.gates_mapped").inc(netlist.num_gates)
     return SynthesisResult(
         netlist=netlist,
         area=netlist.area,
@@ -126,11 +137,15 @@ def compile_spec(
     error-source distribution.
     """
     source = source_spec or spec
-    minimized = minimize_spec(spec)
-    network = LogicNetwork.from_covers(
-        list(spec.input_names), minimized.covers, list(spec.output_names)
-    )
-    result = compile_network(network, spec, objective=objective, library=library)
+    with span("synth.compile", name=spec.name, objective=objective):
+        with span("synth.minimize"):
+            minimized = minimize_spec(spec)
+        network = LogicNetwork.from_covers(
+            list(spec.input_names), minimized.covers, list(spec.output_names)
+        )
+        result = compile_network(
+            network, spec, objective=objective, library=library
+        )
     if source is not spec:
         result = SynthesisResult(
             netlist=result.netlist,

@@ -84,6 +84,66 @@ class TestCli:
         assert "generated" in capsys.readouterr().out
 
 
+class TestCliObservability:
+    def test_version_flag(self, capsys):
+        from repro import __version__
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert __version__ in capsys.readouterr().out
+
+    def test_info_json(self, pla_file, capsys):
+        import json
+
+        assert main(["info", pla_file, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["name"] == "clitest"
+        assert payload["inputs"] == 6
+        assert payload["outputs"] == 2
+        assert 0.0 <= payload["dc_fraction"] <= 1.0
+
+    def test_sweep_writes_obs_artifacts(self, pla_file, tmp_path, capsys):
+        import json
+
+        from repro.obs.validate import validate_file
+
+        trace = tmp_path / "trace.jsonl"
+        metrics = tmp_path / "metrics.json"
+        manifest = tmp_path / "manifest.json"
+        assert main([
+            "sweep", pla_file, "--points", "2", "--objective", "area",
+            "--trace", str(trace), "--metrics-out", str(metrics),
+            "--manifest", str(manifest),
+        ]) == 0
+        capsys.readouterr()
+        for path in (trace, metrics, manifest):
+            assert path.exists()
+            assert validate_file(path) == [], path.name
+        events = [json.loads(line) for line in trace.read_text().splitlines()]
+        assert "sweep.fraction" in {event["name"] for event in events}
+        document = json.loads(metrics.read_text())
+        assert document["metrics"]["flow.runs"]["value"] == 2
+        assert "cache.hits" in document["metrics"]
+        mani = json.loads(manifest.read_text())
+        assert mani["command"] == "sweep"
+        assert mani["exit_status"] == 0
+        assert mani["parameters"]["points"] == 2
+
+    def test_sweep_progress_renders_to_stderr(self, pla_file, capsys):
+        assert main([
+            "sweep", pla_file, "--points", "2", "--objective", "area",
+            "--progress",
+        ]) == 0
+        err = capsys.readouterr().err
+        assert "2/2" in err
+
+    def test_commands_run_clean_without_obs_flags(self, pla_file, capsys):
+        # The obs plumbing must stay invisible when no flag is passed.
+        assert main(["info", pla_file]) == 0
+        assert capsys.readouterr().err == ""
+
+
 class TestCliExtensions:
     def test_nodal(self, pla_file, capsys):
         assert main(["nodal", pla_file, "--policy", "cfactor"]) == 0

@@ -1,18 +1,27 @@
 """Tests for the parallel sweep executor."""
 
 import numpy as np
+import pytest
 
 from repro.benchgen import mcnc_benchmark
 from repro.flows.sweep import (
+    SweepPointError,
     _run_flow_task,
     fraction_sweep,
     parallel_map,
     threshold_sweep,
 )
+from repro.obs import disable_tracing, metrics_snapshot, reset_metrics, tracing
 
 
 def _square(x: int) -> int:
     return x * x
+
+
+def _boom(x: int) -> int:
+    if x == 3:
+        raise ValueError(f"cannot process {x}")
+    return x
 
 
 class TestParallelMap:
@@ -25,6 +34,81 @@ class TestParallelMap:
 
     def test_single_task_stays_in_process(self):
         assert parallel_map(_square, [4], 8) == [16]
+
+    def test_progress_callback_serial(self):
+        seen = []
+        parallel_map(_square, [1, 2, 3], 1, progress=lambda d, t: seen.append((d, t)))
+        assert seen == [(1, 3), (2, 3), (3, 3)]
+
+    def test_progress_callback_parallel(self):
+        seen = []
+        parallel_map(_square, [1, 2, 3, 4], 2, progress=lambda d, t: seen.append((d, t)))
+        assert [d for d, _ in seen] == [1, 2, 3, 4]
+        assert all(t == 4 for _, t in seen)
+
+
+class TestWorkerFailures:
+    def test_exception_carries_failing_point(self):
+        with pytest.raises(SweepPointError) as excinfo:
+            parallel_map(_boom, [1, 2, 3, 4], 2)
+        error = excinfo.value
+        assert error.index == 2
+        assert error.point == 3
+        assert "ValueError: cannot process 3" in str(error)
+        assert "raise ValueError" in error.worker_traceback
+
+    def test_serial_path_raises_plain_exception(self):
+        # jobs=1 never crosses a process boundary; the original error
+        # (with its real traceback) must surface untouched.
+        with pytest.raises(ValueError, match="cannot process 3"):
+            parallel_map(_boom, [1, 2, 3], 1)
+
+    def test_flow_point_description_names_parameters(self):
+        spec = mcnc_benchmark("fout")
+        from repro.flows.sweep import _describe_point
+
+        text = _describe_point((spec, "ranking", {"fraction": 0.5}))
+        assert "benchmark=fout" in text
+        assert "policy=ranking" in text
+        assert "fraction=0.5" in text
+
+
+class TestCrossProcessTelemetry:
+    def test_parallel_sweep_merges_worker_spans_and_metrics(self):
+        spec = mcnc_benchmark("fout")
+        disable_tracing()
+        reset_metrics()
+        try:
+            with tracing() as tracer:
+                fraction_sweep(spec, [0.0, 0.5, 1.0], objective="area", jobs=2)
+            merged = metrics_snapshot()
+        finally:
+            reset_metrics()
+        pids = {record["pid"] for record in tracer.records}
+        assert len(pids) >= 2  # parent plus at least one worker
+        names = {record["name"] for record in tracer.records}
+        assert "sweep.fraction" in names  # parent-side span
+        assert "flow.run" in names  # worker-side span, merged back
+        assert "espresso" in names
+        # Worker counters reached the parent registry.
+        assert merged["flow.runs"]["value"] == 3
+        assert merged["espresso.calls"]["value"] > 0
+        # Parent/child links survive the merge: every non-root parent id
+        # resolves to a span shipped from the same process.
+        by_pid_sid = {(r["pid"], r["sid"]) for r in tracer.records}
+        for record in tracer.records:
+            if record["parent"]:
+                assert (record["pid"], record["parent"]) in by_pid_sid
+
+    def test_serial_sweep_also_counts_runs(self):
+        spec = mcnc_benchmark("fout")
+        reset_metrics()
+        try:
+            fraction_sweep(spec, [0.0, 1.0], objective="area", jobs=1)
+            merged = metrics_snapshot()
+        finally:
+            reset_metrics()
+        assert merged["flow.runs"]["value"] == 2
 
 
 class TestParallelSweeps:

@@ -1,0 +1,141 @@
+"""Regression guard: disabled instrumentation must stay (nearly) free.
+
+The ESPRESSO loop carries spans and counters after the observability PR;
+with tracing off those must cost < 5% on the n=9 random-function
+benchmark (the same function ``bench_substrate_perf.py`` times).  The
+control strips the instrumentation by monkeypatching the ``span`` symbol
+inside :mod:`repro.espresso.minimize` to a free no-op factory and
+disabling the metrics registry, then both variants are timed
+interleaved (min-of-N, so scheduler noise mostly cancels).
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.espresso import minimize as minimize_module
+from repro.espresso.cube import Cover
+from repro.espresso.minimize import espresso
+from repro.obs import NULL_SPAN, configure_metrics, disable_tracing, is_enabled
+from repro.perf import configure_cache
+
+MAX_OVERHEAD = 1.05  # the ISSUE's acceptance bound: < 5%
+
+
+@pytest.fixture
+def n9_problem():
+    rng = np.random.default_rng(0)
+    n = 9
+    phases = rng.choice(np.array([0, 1, 2], np.uint8), size=1 << n,
+                        p=[0.3, 0.3, 0.4])
+    on = Cover.from_minterms(n, np.flatnonzero(phases == 1))
+    dc = Cover.from_minterms(n, np.flatnonzero(phases == 2))
+    return on, dc
+
+
+def _min_time(fn, reps):
+    best = float("inf")
+    for _ in range(reps):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_disabled_tracing_overhead_under_5_percent(n9_problem, monkeypatch):
+    on, dc = n9_problem
+    disable_tracing()
+    assert not is_enabled()
+    configure_cache(enabled=False)  # time the cold path every rep
+    try:
+        def instrumented():
+            return espresso(on, dc)
+
+        def measure(reps):
+            # Interleaved min-of-N: strip -> measure control, restore ->
+            # measure instrumented, repeatedly, so drift hits both sides.
+            control_time = instrumented_time = float("inf")
+            for _ in range(reps):
+                with monkeypatch.context() as patch:
+                    patch.setattr(
+                        minimize_module, "span",
+                        lambda name, /, **attrs: NULL_SPAN,
+                    )
+                    configure_metrics(enabled=False)
+                    try:
+                        control_time = min(
+                            control_time, _min_time(instrumented, 1)
+                        )
+                    finally:
+                        configure_metrics(enabled=True)
+                instrumented_time = min(
+                    instrumented_time, _min_time(instrumented, 1)
+                )
+            return instrumented_time, control_time
+
+        instrumented(), instrumented()  # warm caches/allocator before timing
+        instrumented_time, control_time = measure(reps=5)
+        ratio = instrumented_time / control_time
+        if ratio > MAX_OVERHEAD:
+            # One noisy rep can poison a 5-sample min on a loaded box;
+            # decide on a deeper re-measurement before failing.
+            instrumented_time, control_time = measure(reps=10)
+            ratio = instrumented_time / control_time
+        assert ratio <= MAX_OVERHEAD, (
+            f"disabled instrumentation costs {100 * (ratio - 1):.1f}% on the "
+            f"n=9 espresso benchmark ({instrumented_time * 1e3:.1f} ms vs "
+            f"{control_time * 1e3:.1f} ms control); budget is 5%"
+        )
+    finally:
+        configure_metrics(enabled=True)
+        configure_cache(enabled=True)
+
+
+def test_instrumented_espresso_matches_recorded_baseline(n9_problem):
+    """With all obs flags off, stay within the PR-1 recorded timing.
+
+    Skips when BENCH_substrate.json has no espresso entry for this
+    machine (e.g. a fresh clone before the perf suite ever ran).
+    """
+    import json
+    from pathlib import Path
+
+    bench_file = Path(__file__).resolve().parents[2] / "BENCH_substrate.json"
+    if not bench_file.exists():
+        pytest.skip("no BENCH_substrate.json on this machine")
+    recorded = json.loads(bench_file.read_text()).get("espresso_n9")
+    if not recorded or "min_seconds" not in recorded:
+        pytest.skip("BENCH_substrate.json lacks an espresso_n9 timing")
+    on, dc = n9_problem
+    disable_tracing()
+    configure_cache(enabled=False)
+    try:
+        espresso(on, dc)  # warm-up
+        measured = _min_time(lambda: espresso(on, dc), reps=5)
+    finally:
+        configure_cache(enabled=True)
+    # Cross-run wall-clock comparisons need headroom beyond the 5%
+    # in-run bound: the recorded number may come from a different load
+    # regime.  2x still catches an accidentally-hot disabled path.
+    assert measured <= max(recorded["min_seconds"] * 2.0, 0.002), (
+        f"espresso n=9 now takes {measured * 1e3:.1f} ms vs recorded "
+        f"{recorded['min_seconds'] * 1e3:.1f} ms"
+    )
+
+
+def test_enabled_tracing_records_espresso_passes(n9_problem):
+    from repro.obs import tracing
+
+    on, dc = n9_problem
+    configure_cache(enabled=False)
+    try:
+        with tracing() as tracer:
+            espresso(on, dc)
+    finally:
+        configure_cache(enabled=True)
+    names = {record["name"] for record in tracer.records}
+    assert {"espresso", "espresso.expand", "espresso.irredundant"} <= names
+    top = [r for r in tracer.records if r["name"] == "espresso"]
+    assert top[0]["args"]["cubes_in"] == on.num_cubes
+    assert top[0]["args"]["iterations"] >= 1

@@ -1,0 +1,147 @@
+"""Tests for the tracing layer: spans, nesting, exports, merging."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    NULL_SPAN,
+    Tracer,
+    current_tracer,
+    disable_tracing,
+    enable_tracing,
+    is_enabled,
+    span,
+    tracing,
+)
+from repro.obs.validate import validate_trace_events, validate_trace_jsonl
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_tracer():
+    disable_tracing()
+    yield
+    disable_tracing()
+
+
+class TestDisabled:
+    def test_span_is_null_when_disabled(self):
+        assert not is_enabled()
+        handle = span("anything", x=1)
+        assert handle is NULL_SPAN
+        with handle as sp:
+            sp.set(y=2)  # must be accepted and ignored
+
+    def test_null_span_swallows_nothing(self):
+        with pytest.raises(ValueError):
+            with span("oops"):
+                raise ValueError("propagates")
+
+
+class TestEnabled:
+    def test_span_records_name_duration_attrs(self):
+        with tracing() as tracer:
+            with span("work", items=3) as sp:
+                sp.set(result=7)
+        assert len(tracer) == 1
+        record = tracer.records[0]
+        assert record["name"] == "work"
+        assert record["ph"] == "X"
+        assert record["dur"] >= 0
+        assert record["args"] == {"items": 3, "result": 7}
+
+    def test_name_attribute_does_not_collide(self):
+        # The span's positional name and a `name=` attribute must coexist.
+        with tracing() as tracer:
+            with span("outer", name="attr-value"):
+                pass
+        assert tracer.records[0]["name"] == "outer"
+        assert tracer.records[0]["args"]["name"] == "attr-value"
+
+    def test_nesting_parent_child(self):
+        with tracing() as tracer:
+            with span("parent"):
+                with span("child"):
+                    pass
+                with span("sibling"):
+                    pass
+        by_name = {record["name"]: record for record in tracer.records}
+        assert by_name["child"]["parent"] == by_name["parent"]["sid"]
+        assert by_name["sibling"]["parent"] == by_name["parent"]["sid"]
+        assert by_name["parent"]["parent"] == 0
+
+    def test_exception_marks_span_and_propagates(self):
+        with tracing() as tracer:
+            with pytest.raises(RuntimeError):
+                with span("failing"):
+                    raise RuntimeError("boom")
+        assert tracer.records[0]["args"]["error"] == "RuntimeError"
+
+    def test_enable_disable_roundtrip(self):
+        tracer = enable_tracing()
+        assert current_tracer() is tracer
+        with span("one"):
+            pass
+        disable_tracing()
+        with span("two"):
+            pass
+        assert [record["name"] for record in tracer.records] == ["one"]
+
+    def test_nested_tracing_scopes_restore(self):
+        with tracing() as outer:
+            with tracing() as inner:
+                with span("inner-work"):
+                    pass
+            assert current_tracer() is outer
+        assert not is_enabled()
+        assert len(inner) == 1
+        assert len(outer) == 0
+
+
+class TestExports:
+    def _traced(self):
+        with tracing() as tracer:
+            with span("a", k=1):
+                with span("b"):
+                    pass
+        return tracer
+
+    def test_jsonl_export_validates(self, tmp_path):
+        tracer = self._traced()
+        path = tmp_path / "trace.jsonl"
+        tracer.export_jsonl(path)
+        assert validate_trace_jsonl(path) == []
+        lines = [json.loads(line) for line in path.read_text().splitlines()]
+        assert {line["name"] for line in lines} == {"a", "b"}
+
+    def test_chrome_export_validates(self, tmp_path):
+        tracer = self._traced()
+        path = tmp_path / "trace.json"
+        tracer.write(path)  # .json extension -> Chrome object format
+        document = json.loads(path.read_text())
+        assert "traceEvents" in document
+        assert validate_trace_events(document["traceEvents"]) == []
+        phases = {event["ph"] for event in document["traceEvents"]}
+        assert "M" in phases  # process_name metadata present
+        assert "X" in phases
+
+    def test_snapshot_clear_and_ingest(self):
+        worker = Tracer()
+        with tracing(worker):
+            with span("task"):
+                pass
+        records = worker.snapshot(clear=True)
+        assert len(records) == 1
+        assert len(worker) == 0  # reused worker won't double-report
+        parent = Tracer()
+        parent.ingest(records)
+        assert parent.records[0]["name"] == "task"
+
+    def test_numpy_attrs_serialise(self, tmp_path):
+        numpy = pytest.importorskip("numpy")
+        with tracing() as tracer:
+            with span("np", count=numpy.int64(5)):
+                pass
+        path = tmp_path / "np.jsonl"
+        tracer.export_jsonl(path)
+        assert json.loads(path.read_text())["args"]["count"] == 5

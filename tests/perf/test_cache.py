@@ -7,6 +7,7 @@ from repro.core.spec import FunctionSpec
 from repro.espresso.cube import Cover
 from repro.espresso.minimize import espresso, minimize_spec
 from repro.perf import (
+    CacheStats,
     MinimizationCache,
     cache_stats,
     configure_cache,
@@ -74,6 +75,44 @@ class TestCacheMechanics:
         stats = cache_stats()
         for field in ("enabled", "entries", "hits", "misses", "evictions", "hit_rate"):
             assert field in stats
+
+    def test_stats_is_typed_dataclass(self):
+        cache = MinimizationCache(maxsize=8)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.get("b")
+        stats = cache.stats()
+        assert isinstance(stats, CacheStats)
+        assert stats.hits == 1
+        assert stats.misses == 1
+        assert stats.entries == 1
+        assert stats.maxsize == 8
+        assert stats.hit_rate == pytest.approx(0.5)
+
+    def test_stats_dict_compat(self):
+        # Pre-existing callers index stats like a dict; both views agree.
+        stats = MinimizationCache().stats()
+        as_dict = stats.asdict()
+        assert as_dict["hits"] == stats.hits == stats["hits"]
+        assert set(as_dict) == {
+            "enabled", "entries", "maxsize", "hits", "misses",
+            "evictions", "hit_rate",
+        }
+        assert dict(stats) == {key: stats[key] for key in as_dict}
+        with pytest.raises(KeyError):
+            stats["nope"]
+        assert "hit_rate" in stats
+
+    def test_stats_reports_into_global_metrics(self):
+        from repro.obs import metrics_snapshot
+
+        on = Cover.from_minterms(4, [1, 2, 3])
+        espresso(on)
+        espresso(on)
+        snapshot = metrics_snapshot()
+        assert snapshot["cache.hits"]["value"] >= 1
+        assert snapshot["cache.misses"]["value"] >= 1
+        assert snapshot["cache.entries"]["type"] == "gauge"
 
 
 class TestEspressoMemo:
