@@ -73,7 +73,17 @@ def _persist_results():
         manifest.duration_seconds = time.perf_counter() - start
         manifest.exit_status = 0
         _RESULTS["manifest"] = manifest.to_dict()
-        BENCH_FILE.write_text(json.dumps(_RESULTS, indent=2, sort_keys=True) + "\n")
+        # Merge over the existing file so a partial run (e.g. the CI
+        # ``--quick`` smoke) refreshes its own entries without dropping
+        # numbers it did not measure.
+        merged: dict = {}
+        if BENCH_FILE.exists():
+            try:
+                merged = json.loads(BENCH_FILE.read_text())
+            except json.JSONDecodeError:
+                merged = {}
+        merged.update(_RESULTS)
+        BENCH_FILE.write_text(json.dumps(merged, indent=2, sort_keys=True) + "\n")
 
 
 @pytest.fixture(scope="module")
@@ -214,3 +224,160 @@ def test_lcf_metric_throughput(benchmark):
                         p=[0.25, 0.25, 0.5])
     lcf = benchmark(local_complexity_factor, phases)
     assert lcf.shape == phases.shape
+
+
+# --------------------------------------------------------- simulation engine
+
+
+def _quick_mode() -> bool:
+    """Smoke mode for CI: small instances, relaxed speedup floors."""
+    return os.environ.get("REPRO_BENCH_QUICK") == "1"
+
+
+def _random_sim_network(seed: int, num_pis: int, num_nodes: int) -> LogicNetwork:
+    """A deep random multi-level network for simulation benchmarks.
+
+    Nodes are wide and sparse — 5-9 fanins, 3-5 cubes of 2-4 literals —
+    the shape ESPRESSO-minimised multi-level logic actually has, and the
+    regime where the per-node cost gap between byte-per-vector and packed
+    evaluation is representative.
+    """
+    rng = np.random.default_rng(seed)
+    names = [f"x{i}" for i in range(num_pis)]
+    net = LogicNetwork(names)
+    signals = list(names)
+    for t in range(num_nodes):
+        # Bias fanins towards recent signals so cones are deep, not flat.
+        pool = signals[-16:]
+        k = int(rng.integers(5, min(10, len(pool) + 1)))
+        fanins = [str(s) for s in rng.choice(pool, size=k, replace=False)]
+        rows = np.full((int(rng.integers(3, 6)), k), 2, dtype=np.uint8)
+        for row in rows:
+            lits = rng.choice(k, size=int(rng.integers(2, 5)), replace=False)
+            row[lits] = rng.integers(0, 2, size=lits.size)
+        name = f"t{t}"
+        net.add_node(name, fanins, Cover(rows, k))
+        signals.append(name)
+    for position, signal in enumerate(signals[-4:]):
+        net.set_output(f"y{position}", signal)
+    return net
+
+
+def _best_of(repeats: int, run) -> float:
+    """Min wall-clock over *repeats* calls (min tracks kernel cost)."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        run()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_sim_packed_vs_bool():
+    """Full-space simulation: packed engine vs byte-per-vector reference.
+
+    The tentpole target: >= 10x on an n=14 multi-level network (the packed
+    path touches 64x less memory per signal and replaces the per-node
+    gather with a handful of word-wise ops).
+    """
+    from repro.sim import engine as sim_engine
+
+    quick = _quick_mode()
+    num_pis, num_nodes, repeats = (10, 12, 3) if quick else (14, 30, 7)
+    net = _random_sim_network(11, num_pis, num_nodes)
+    net.evaluate_reference()  # warm cover caches out of the timed region
+    sim_engine.network_values(net)
+
+    bool_seconds = _best_of(repeats, net.evaluate_reference)
+    packed_seconds = _best_of(repeats, lambda: sim_engine.network_values(net))
+
+    # Equivalence while we are here: same signals, same tables.
+    from repro.sim import packed as pk
+
+    packed_values = sim_engine.network_values(net)
+    reference = net.evaluate_reference()
+    size = 1 << num_pis
+    for name, table in reference.items():
+        np.testing.assert_array_equal(
+            pk.unpack_bool(packed_values[name], size), table, err_msg=name
+        )
+
+    speedup = bool_seconds / packed_seconds
+    _RESULTS["sim_packed_vs_bool"] = {
+        "num_pis": num_pis,
+        "num_nodes": num_nodes,
+        "quick": quick,
+        "bool_seconds": bool_seconds,
+        "packed_seconds": packed_seconds,
+        "speedup": speedup,
+    }
+    floor = 2.0 if quick else 10.0
+    assert speedup >= floor, (
+        f"packed simulation only {speedup:.1f}x over the boolean reference "
+        f"({packed_seconds * 1e3:.2f} ms vs {bool_seconds * 1e3:.2f} ms)"
+    )
+
+
+def test_odc_incremental_vs_full():
+    """Per-node flip sweep: cone-restricted packed flips vs full re-walks.
+
+    The nodal-reassignment inner loop asks "do the POs change?" for every
+    node; the incremental simulator answers from the flipped node's fanout
+    cone only.  Target: >= 5x over the boolean full-topological-walk
+    baseline (``_evaluate_with_flip``) across a whole-network sweep.
+    """
+    from repro.sim.incremental import IncrementalNetworkSim
+    from repro.synth.odc import _evaluate_with_flip
+
+    quick = _quick_mode()
+    num_pis, num_nodes, repeats = (9, 14, 2) if quick else (14, 40, 3)
+    net = _random_sim_network(23, num_pis, num_nodes)
+    node_names = list(net.nodes)
+    values = net.evaluate_reference()
+
+    def full_sweep():
+        for name in node_names:
+            _evaluate_with_flip(net, values, name)
+
+    sim = IncrementalNetworkSim(net)
+
+    def incremental_sweep():
+        for name in node_names:
+            sim.flip_outputs(name)
+
+    full_seconds = _best_of(repeats, full_sweep)
+    incremental_seconds = _best_of(repeats, incremental_sweep)
+
+    speedup = full_seconds / incremental_seconds
+    _RESULTS["odc_incremental_vs_full"] = {
+        "num_pis": num_pis,
+        "num_nodes": num_nodes,
+        "quick": quick,
+        "full_seconds": full_seconds,
+        "incremental_seconds": incremental_seconds,
+        "speedup": speedup,
+    }
+    floor = 1.5 if quick else 5.0
+    assert speedup >= floor, (
+        f"incremental flips only {speedup:.1f}x over full re-walks "
+        f"({incremental_seconds * 1e3:.2f} ms vs {full_seconds * 1e3:.2f} ms)"
+    )
+
+
+if __name__ == "__main__":
+    # ``python benchmarks/bench_substrate_perf.py --quick`` is the CI smoke
+    # entry: run only the simulation-engine benchmarks on small instances
+    # (still persisting their numbers to BENCH_substrate.json).
+    import sys
+
+    if "--quick" in sys.argv:
+        os.environ["REPRO_BENCH_QUICK"] = "1"
+    raise SystemExit(
+        pytest.main(
+            [
+                "-q",
+                f"{__file__}::test_sim_packed_vs_bool",
+                f"{__file__}::test_odc_incremental_vs_full",
+            ]
+        )
+    )

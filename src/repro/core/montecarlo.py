@@ -7,6 +7,27 @@ random input vector and a random input pin, evaluate the circuit on both
 the correct and the corrupted vector, and count output changes.  Works
 against any evaluator (network, netlist, or plain function), so it scales
 the methodology to circuits of arbitrary width.
+
+Sampling runs in the packed domain: input vectors are drawn directly as
+uint64 words (64 vectors per word, one row per input) and pin flips are
+applied as packed XOR masks.  With a *packed* evaluator (see
+:func:`repro.sim.engine.packed_network_evaluator` and friends) the whole
+trial loop — generation, evaluation, disagreement counting — stays
+bit-parallel; with a plain boolean evaluator the same packed draws are
+unpacked at the evaluator boundary, so both evaluator kinds see
+*identical* vectors under a fixed seed and produce identical estimates.
+
+Sample accounting
+-----------------
+
+``samples`` is the target number of **admissible** trials.  Without a
+``source_filter`` exactly ``samples`` trials are used.  With a filter,
+batches are redrawn until the admissible count reaches ``samples`` or
+``max_draw_factor * samples`` raw draws have been spent — so a filter
+that rejects entire batches no longer silently shrinks the trial budget;
+only a pathologically tight filter (admissibility below
+``1 / max_draw_factor``) returns fewer used samples than requested, and
+an unsatisfiable one returns a zero estimate with ``samples == 0``.
 """
 
 from __future__ import annotations
@@ -17,10 +38,16 @@ from typing import Callable
 
 import numpy as np
 
+from ..sim import packed as pk
+
 __all__ = ["MonteCarloEstimate", "estimate_error_rate"]
 
 Evaluator = Callable[[np.ndarray], np.ndarray]
 """Maps boolean inputs (vectors, inputs) -> boolean outputs (outputs, vectors)."""
+
+PackedEvaluator = Callable[[np.ndarray, int], np.ndarray]
+"""Maps packed inputs ((inputs, words) uint64, num_vectors) -> packed
+outputs ((outputs, words) uint64)."""
 
 
 @dataclass(frozen=True)
@@ -43,64 +70,102 @@ class MonteCarloEstimate:
 
 
 def estimate_error_rate(
-    evaluate: Evaluator,
+    evaluate: Evaluator | None,
     num_inputs: int,
     *,
     samples: int = 20_000,
     rng: np.random.Generator | None = None,
     source_filter: Callable[[np.ndarray], np.ndarray] | None = None,
     batch: int = 4096,
+    packed_evaluate: PackedEvaluator | None = None,
+    max_draw_factor: int = 64,
 ) -> MonteCarloEstimate:
     """Sample the single-bit input-error rate of a circuit.
 
     Args:
-        evaluate: circuit evaluator (see :data:`Evaluator`).
+        evaluate: boolean circuit evaluator (see :data:`Evaluator`); may
+            be ``None`` when *packed_evaluate* is given.
         num_inputs: number of circuit inputs.
-        samples: total number of (vector, flipped-pin) trials.
+        samples: target number of admissible (vector, flipped-pin) trials
+            (see "Sample accounting" in the module docstring).
         rng: random generator (default: fresh, seeded 0 for determinism).
-        source_filter: optional predicate over input batches returning a
-            boolean mask of *admissible* error sources (e.g. the original
-            care set); inadmissible samples are redrawn conceptually by
-            exclusion from both numerator and denominator.
+        source_filter: optional predicate over boolean input batches
+            returning a mask of *admissible* error sources (e.g. the
+            original care set); inadmissible draws are excluded from both
+            numerator and denominator and replacement batches are drawn.
         batch: vectors per evaluation batch.
+        packed_evaluate: packed circuit evaluator (see
+            :data:`PackedEvaluator`); when given, evaluation stays in the
+            packed domain end to end and *evaluate* is ignored.
+        max_draw_factor: raw-draw budget per requested sample when a
+            *source_filter* is active.
 
     Returns:
         A :class:`MonteCarloEstimate`.  With a source filter so tight that
-        no admissible vector is ever drawn, the estimate is 0 with
-        ``samples == 0``.
+        no admissible vector is ever drawn within the draw budget, the
+        estimate is 0 with ``samples == 0``.
 
     Raises:
-        ValueError: on non-positive sample or input counts.
+        ValueError: on non-positive sample or input counts, or when no
+            evaluator is supplied.
     """
     if num_inputs <= 0:
         raise ValueError("num_inputs must be positive")
     if samples <= 0:
         raise ValueError("samples must be positive")
+    if evaluate is None and packed_evaluate is None:
+        raise ValueError("an evaluator is required (evaluate or packed_evaluate)")
     rng = rng or np.random.default_rng(0)
-    flips = 0
+    word_max = np.iinfo(np.uint64).max
+    disagreements = 0  # differing (output, vector) table entries
+    num_outputs = 1
     used = 0
-    remaining = samples
-    while remaining > 0:
-        count = min(batch, remaining)
-        remaining -= count
-        vectors = rng.random((count, num_inputs)) < 0.5
+    drawn = 0
+    max_draws = samples if source_filter is None else samples * max_draw_factor
+    while used < samples and drawn < max_draws:
+        count = min(batch, samples - used)
+        drawn += count
+        words = pk.num_words(count)
+        # Vectors drawn directly as packed words; pin flips as XOR masks.
+        vector_words = rng.integers(
+            0, word_max, size=(num_inputs, words), dtype=np.uint64, endpoint=True
+        )
+        pk.zero_tail(vector_words, count)
         pins = rng.integers(num_inputs, size=count)
-        corrupted = vectors.copy()
-        corrupted[np.arange(count), pins] ^= True
+        onehot = np.zeros((count, num_inputs), dtype=bool)
+        onehot[np.arange(count), pins] = True
+        corrupted_words = vector_words ^ pk.pack_matrix(onehot)
+        admissible = None
         if source_filter is not None:
+            vectors = pk.unpack_matrix(vector_words, count).T
             admissible = np.asarray(source_filter(vectors), dtype=bool)
             if not np.any(admissible):
                 continue
-            vectors = vectors[admissible]
-            corrupted = corrupted[admissible]
-            count = vectors.shape[0]
-        good = np.atleast_2d(evaluate(vectors))
-        bad = np.atleast_2d(evaluate(corrupted))
-        # Mean over outputs of the per-output propagation indicator.
-        flips += float(np.mean(good != bad, axis=0).sum())
-        used += count
+        if packed_evaluate is not None:
+            good = np.atleast_2d(np.asarray(packed_evaluate(vector_words, count)))
+            bad = np.atleast_2d(np.asarray(packed_evaluate(corrupted_words, count)))
+            diff = good ^ bad
+            if admissible is None:
+                used += count
+            else:
+                admissible_words = pk.pack_bool(admissible)
+                diff &= admissible_words
+                used += pk.popcount(admissible_words)
+            num_outputs = diff.shape[0]
+            disagreements += pk.popcount(diff)
+        else:
+            vectors = pk.unpack_matrix(vector_words, count).T
+            bad_vectors = pk.unpack_matrix(corrupted_words, count).T
+            if admissible is not None:
+                vectors = vectors[admissible]
+                bad_vectors = bad_vectors[admissible]
+            good = np.atleast_2d(evaluate(vectors))
+            bad = np.atleast_2d(evaluate(bad_vectors))
+            num_outputs = good.shape[0]
+            disagreements += int(np.count_nonzero(good != bad))
+            used += vectors.shape[0]
     if used == 0:
         return MonteCarloEstimate(0.0, 0.0, 0)
-    rate = flips / used
+    rate = disagreements / (num_outputs * used)
     stderr = math.sqrt(max(rate * (1.0 - rate), 1e-12) / used)
     return MonteCarloEstimate(rate, stderr, used)

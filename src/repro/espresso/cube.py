@@ -196,7 +196,16 @@ class Cover:
     and cached under that assumption.
     """
 
-    __slots__ = ("cubes", "num_inputs", "_masks", "_values")
+    __slots__ = (
+        "cubes",
+        "num_inputs",
+        "_masks",
+        "_values",
+        "_table",
+        "_literals",
+        "_gather",
+        "_nlit",
+    )
 
     def __init__(self, cubes: np.ndarray, num_inputs: int):
         arr = np.asarray(cubes, dtype=np.uint8)
@@ -210,6 +219,10 @@ class Cover:
         self.num_inputs = num_inputs
         self._masks: np.ndarray | None = None
         self._values: np.ndarray | None = None
+        self._table: np.ndarray | None = None
+        self._literals: tuple[tuple[tuple[int, bool], ...], ...] | None = None
+        self._gather: np.ndarray | None = None
+        self._nlit: int | None = None
 
     # --------------------------------------------------------------- packing
 
@@ -219,6 +232,62 @@ class Cover:
         if self._masks is None:
             self._masks, self._values = pack_cubes(self.cubes)
         return self._masks, self._values
+
+    def table(self) -> np.ndarray:
+        """Cached read-only dense truth table (see :meth:`evaluate`).
+
+        Simulation re-applies the same node function to every batch of
+        vectors; caching the ``2**n`` table on the (conventionally
+        immutable) cover makes the per-batch cost independent of the cube
+        count.  Only sensible for the narrow local functions of network
+        nodes — callers guard the width.
+        """
+        if self._table is None:
+            table = self.evaluate()
+            table.setflags(write=False)
+            self._table = table
+        return self._table
+
+    def literal_plan(self) -> tuple[tuple[tuple[int, bool], ...], ...]:
+        """Cached per-cube bound literals as native python ints.
+
+        Entry *c* lists cube *c*'s literals as ``(position, is_positive)``
+        pairs.  The packed cube kernel walks this plan on every batch;
+        hoisting the uint8-matrix scan out of the hot loop keeps the
+        per-batch cost at the bitwise operations themselves.
+        """
+        if self._literals is None:
+            self._literals = tuple(
+                tuple(
+                    (j, row[j] == V1)
+                    for j in range(self.num_inputs)
+                    if row[j] != FREE
+                )
+                for row in self.cubes.tolist()
+            )
+        return self._literals
+
+    def gather_plan(self) -> np.ndarray:
+        """Cached ``(num_cubes, max_literals)`` gather indices for the
+        packed cube kernel.
+
+        Row *c* indexes cube *c*'s literals into an extended signal matrix
+        laid out as ``[k fanins, k complemented fanins, all-ones]``:
+        position *j* for literal ``x_j``, ``k + j`` for ``~x_j``, and the
+        all-ones row ``2 * k`` as padding so every cube row AND-reduces
+        over the same width.
+        """
+        if self._gather is None:
+            plan = self.literal_plan()
+            k = self.num_inputs
+            width = max((len(cube) for cube in plan), default=0)
+            idx = np.full((len(plan), width), 2 * k, dtype=np.intp)
+            for c, cube in enumerate(plan):
+                for slot, (j, positive) in enumerate(cube):
+                    idx[c, slot] = j if positive else k + j
+            idx.setflags(write=False)
+            self._gather = idx
+        return self._gather
 
     # ---------------------------------------------------------- constructors
 
@@ -287,8 +356,11 @@ class Cover:
 
     @property
     def num_literals(self) -> int:
-        """Total number of literals across all cubes."""
-        return int(np.count_nonzero(self.cubes != FREE))
+        """Total number of literals across all cubes (cached — the packed
+        kernel dispatch reads this on every simulation batch)."""
+        if self._nlit is None:
+            self._nlit = int(np.count_nonzero(self.cubes != FREE))
+        return self._nlit
 
     def cost(self) -> tuple[int, int]:
         """(cubes, literals) — the lexicographic cost ESPRESSO minimises."""

@@ -11,17 +11,30 @@ care set.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
 
 from ..core.assignment import Assignment
 from ..core.cfactor import DEFAULT_THRESHOLD, cfactor_assignment
+from ..core.montecarlo import MonteCarloEstimate, estimate_error_rate
 from ..core.ranking import complete_assignment, ranking_assignment
 from ..core.spec import FunctionSpec
 from ..obs import metrics as obs_metrics
 from ..obs import span
+from ..sim.engine import packed_netlist_evaluator
 from ..synth.compile_ import SynthesisResult, compile_spec
 from ..synth.library import Library
+from ..synth.netlist import MappedNetlist
 
-__all__ = ["POLICIES", "FlowResult", "apply_policy", "run_flow", "relative_metrics"]
+__all__ = [
+    "POLICIES",
+    "FlowResult",
+    "apply_policy",
+    "run_flow",
+    "relative_metrics",
+    "sampled_error_rate",
+]
 
 POLICIES = ("conventional", "ranking", "cfactor", "complete")
 """The four assignment policies of the evaluation."""
@@ -147,3 +160,39 @@ def relative_metrics(result: FlowResult, baseline: FlowResult) -> dict[str, floa
         "area_improvement_pct": 100.0 * (1.0 - area_ratio),
         "error_improvement_pct": 100.0 * (1.0 - error_ratio),
     }
+
+
+def sampled_error_rate(
+    netlist: MappedNetlist,
+    *,
+    samples: int = 20_000,
+    rng: np.random.Generator | None = None,
+    source_filter: Callable[[np.ndarray], np.ndarray] | None = None,
+) -> MonteCarloEstimate:
+    """Monte-Carlo input-error rate of a mapped netlist, fully packed.
+
+    The sampled counterpart of the exhaustive error rate reported by
+    :func:`run_flow`: the whole trial loop — vector generation, circuit
+    evaluation, disagreement counting — runs 64 vectors per uint64 word
+    on the packed simulation engine, so it scales to netlists whose PI
+    space cannot be enumerated.
+
+    Args:
+        netlist: the mapped implementation to measure.
+        samples: target number of admissible (vector, flipped-pin) trials
+            (see :func:`repro.core.montecarlo.estimate_error_rate`).
+        rng: random generator (default: fresh, seeded 0).
+        source_filter: optional admissibility predicate over boolean input
+            batches (e.g. the original care set).
+    """
+    num_inputs = len(netlist.primary_inputs)
+    obs_metrics.counter("flow.mc_runs").inc()
+    with span("flow.mc_error_rate", netlist=len(netlist.gates), samples=samples):
+        return estimate_error_rate(
+            None,
+            num_inputs,
+            samples=samples,
+            rng=rng,
+            source_filter=source_filter,
+            packed_evaluate=packed_netlist_evaluator(netlist),
+        )

@@ -1,0 +1,323 @@
+"""Packed-word simulation primitives: 64 vectors per ``uint64``.
+
+Every boolean *signal* over ``V`` simulation vectors is stored as
+``W = ceil(V / 64)`` machine words; vector ``v`` lives at bit ``v % 64``
+of word ``v // 64``.  Gate evaluation then becomes a handful of whole-word
+bitwise operations instead of ``V`` byte operations — the same packing
+trick :mod:`repro.espresso.cube` applies along the *variable* axis, here
+applied along the *vector* axis.
+
+Tail masking
+------------
+
+When ``V`` is not a multiple of 64 the top ``64 - V % 64`` bits of the
+last word are unused.  The module-wide invariant is that those bits are
+**always zero** in any array handed to or returned from these functions:
+packing pads with zeros, and every kernel that complements a word
+(``~x`` sets the tail bits) re-masks its result with :func:`zero_tail`
+before returning.  This keeps :func:`popcount`, word-wise equality and
+``any``-reductions exact without per-call vector counts.
+
+The conversion helpers (:func:`pack_bool` / :func:`unpack_bool` and the
+matrix variants) are built on ``np.packbits(..., bitorder="little")`` so
+the bit layout is little-endian within each word.
+"""
+
+from __future__ import annotations
+
+import functools
+
+import numpy as np
+
+__all__ = [
+    "WORD_BITS",
+    "ALL_ONES",
+    "num_words",
+    "tail_mask",
+    "zero_tail",
+    "pack_bool",
+    "unpack_bool",
+    "pack_matrix",
+    "unpack_matrix",
+    "pi_space",
+    "popcount",
+    "eval_cover",
+    "eval_table",
+    "pattern_masks",
+]
+
+WORD_BITS = 64
+"""Simulation vectors per packed word."""
+
+ALL_ONES = np.uint64(0xFFFFFFFFFFFFFFFF)
+"""A fully set word."""
+
+_POPCOUNT8 = np.array([bin(i).count("1") for i in range(256)], dtype=np.uint16)
+
+_BIT_PATTERNS = tuple(
+    np.uint64(sum(1 << v for v in range(WORD_BITS) if (v >> i) & 1))
+    for i in range(6)
+)
+"""Within-word truth table of primary input *i* < 6 (0xAAAA..., 0xCCCC..., ...)."""
+
+
+def num_words(num_vectors: int) -> int:
+    """Packed words needed for *num_vectors* vectors (at least one).
+
+    Raises:
+        ValueError: for non-positive vector counts.
+    """
+    if num_vectors <= 0:
+        raise ValueError(f"num_vectors must be positive, got {num_vectors}")
+    return (num_vectors + WORD_BITS - 1) // WORD_BITS
+
+
+def tail_mask(num_vectors: int) -> np.uint64:
+    """Mask of the valid bits in the *last* word of a packed signal."""
+    rem = num_vectors % WORD_BITS
+    return ALL_ONES if rem == 0 else np.uint64((1 << rem) - 1)
+
+
+def zero_tail(words: np.ndarray, num_vectors: int) -> np.ndarray:
+    """Clear the unused tail bits of the last word, in place (and return)."""
+    if num_vectors % WORD_BITS:
+        words[..., -1] &= tail_mask(num_vectors)
+    return words
+
+
+def pack_bool(values: np.ndarray) -> np.ndarray:
+    """Pack a 1-D boolean array into little-endian uint64 words."""
+    values = np.ascontiguousarray(values, dtype=bool)
+    if values.ndim != 1:
+        raise ValueError(f"expected a 1-D array, got shape {values.shape}")
+    words = num_words(values.size)
+    buffer = np.zeros(words * 8, dtype=np.uint8)
+    bits = np.packbits(values, bitorder="little")
+    buffer[: bits.size] = bits
+    return buffer.view(np.uint64)
+
+
+def unpack_bool(words: np.ndarray, num_vectors: int) -> np.ndarray:
+    """Inverse of :func:`pack_bool`: the first *num_vectors* bits as bools."""
+    raw = np.ascontiguousarray(words, dtype=np.uint64).view(np.uint8)
+    return np.unpackbits(raw, count=num_vectors, bitorder="little").astype(bool)
+
+
+def pack_matrix(matrix: np.ndarray) -> np.ndarray:
+    """Pack a ``(V, n)`` boolean matrix into an ``(n, W)`` word array.
+
+    Column *j* of the input (one signal over ``V`` vectors) becomes row
+    *j* of the packed output — the layout every simulator consumes.
+    """
+    matrix = np.asarray(matrix, dtype=bool)
+    if matrix.ndim != 2:
+        raise ValueError(f"expected a (vectors, signals) matrix, got {matrix.shape}")
+    vectors, signals = matrix.shape
+    words = num_words(max(1, vectors))
+    buffer = np.zeros((signals, words * 8), dtype=np.uint8)
+    if vectors:
+        bits = np.packbits(np.ascontiguousarray(matrix.T), axis=1, bitorder="little")
+        buffer[:, : bits.shape[1]] = bits
+    return buffer.view(np.uint64)
+
+
+def unpack_matrix(words: np.ndarray, num_vectors: int) -> np.ndarray:
+    """Inverse of :func:`pack_matrix` transposed: ``(m, W)`` words to
+    an ``(m, V)`` boolean array (row per signal)."""
+    raw = np.ascontiguousarray(words, dtype=np.uint64)
+    if raw.ndim != 2:
+        raise ValueError(f"expected an (m, W) word array, got {raw.shape}")
+    return np.unpackbits(
+        raw.view(np.uint8), axis=1, count=num_vectors, bitorder="little"
+    ).astype(bool)
+
+
+def _build_pi_space(num_inputs: int) -> np.ndarray:
+    size = 1 << num_inputs
+    words = num_words(size)
+    out = np.empty((num_inputs, words), dtype=np.uint64)
+    for i in range(num_inputs):
+        if i < 6:
+            out[i, :] = _BIT_PATTERNS[i]
+        else:
+            period = 1 << (i - 6)
+            block = np.concatenate(
+                [np.zeros(period, np.uint64), np.full(period, ALL_ONES)]
+            )
+            out[i, :] = np.tile(block, words // (2 * period))
+    return zero_tail(out, size)
+
+
+@functools.lru_cache(maxsize=20)
+def _pi_space_cached(num_inputs: int) -> np.ndarray:
+    out = _build_pi_space(num_inputs)
+    out.setflags(write=False)
+    return out
+
+
+def pi_space(num_inputs: int) -> np.ndarray:
+    """The exhaustive primary-input space, packed: ``(n, 2**n / 64)`` words.
+
+    Row *i* is the truth table of input *i* over all ``2**n`` minterms
+    (minterm ``m`` has input *i* equal to bit *i* of ``m``), built
+    directly in the packed domain: inputs 0-5 are repeating within-word
+    patterns, higher inputs alternate all-zero / all-one word blocks.
+
+    The returned array is **read-only**: exhaustive simulation rebuilds
+    the same input space on every run, so small widths are cached and
+    shared between callers (the kernels never mutate their fanin words).
+    Copy before writing.  Widths past 16 inputs are built fresh — the
+    cache would otherwise pin megabytes per width.
+    """
+    if num_inputs <= 0:
+        raise ValueError(f"num_inputs must be positive, got {num_inputs}")
+    if num_inputs <= 16:
+        return _pi_space_cached(num_inputs)
+    return _build_pi_space(num_inputs)
+
+
+def popcount(words: np.ndarray) -> int:
+    """Total number of set bits across a word array."""
+    raw = np.ascontiguousarray(words, dtype=np.uint64)
+    return int(_POPCOUNT8[raw.reshape(-1).view(np.uint8)].sum())
+
+
+def eval_cover(cover, fanin_words, num_vectors: int) -> np.ndarray:
+    """OR-of-cubes evaluation of an SOP cover on packed fanin signals.
+
+    Two strategies share the entry point.  Typical covers walk the
+    cached literal plan with two reusable buffers — each cube is
+    AND-accumulated into a scratch word array, OR-merged into the output
+    in place, and complemented fanins are inverted once and shared — so
+    the whole node costs one in-place word-wise op per literal plus one
+    allocation, not one temporary per op.  Covers with very many
+    literals switch to the cached gather plan: fanins, complements and
+    an all-ones padding row are stacked into one extended signal matrix,
+    all cubes are materialised by a single fancy-index, and two ufunc
+    reductions (AND along literals, OR along cubes) finish the job with
+    a handful of numpy calls independent of the cube count.  Tail bits
+    are only re-masked on the final result, so intermediates may carry
+    tail garbage.
+
+    Args:
+        cover: an :class:`~repro.espresso.cube.Cover` over ``k`` fanins.
+        fanin_words: sequence of ``k`` packed signals (``(W,)`` each).
+        num_vectors: valid bit count.
+
+    Returns:
+        The packed node value, tail-masked.
+    """
+    words = num_words(num_vectors)
+    plan = cover.literal_plan()
+    if not plan:
+        return np.zeros(words, dtype=np.uint64)
+    k = cover.num_inputs
+    if k > 0 and cover.num_literals + len(plan) > 24:
+        # Gather strategy: extended matrix [fanins; complements; ones].
+        ext = np.empty((2 * k + 1, words), dtype=np.uint64)
+        ext[:k] = fanin_words
+        np.bitwise_not(ext[:k], out=ext[k : 2 * k])
+        ext[2 * k] = ALL_ONES
+        terms = np.bitwise_and.reduce(ext[cover.gather_plan()], axis=1)
+        out = np.bitwise_or.reduce(terms, axis=0)
+        return zero_tail(out, num_vectors)
+    # Walk strategy: in-place accumulation through two shared buffers.
+    complements: dict[int, np.ndarray] = {}
+    scratch = np.empty(words, dtype=np.uint64)
+    out: np.ndarray | None = None
+    for literals in plan:
+        if not literals:
+            # Tautology cube: the cover is the constant 1.
+            ones = np.full(words, ALL_ONES, dtype=np.uint64)
+            return zero_tail(ones, num_vectors)
+        term: np.ndarray | None = None  # scratch once >= 2 literals seen
+        first: np.ndarray | None = None  # borrowed single-literal view
+        for j, positive in literals:
+            if positive:
+                signal = fanin_words[j]
+            else:
+                signal = complements.get(j)
+                if signal is None:
+                    signal = np.bitwise_not(fanin_words[j])
+                    complements[j] = signal
+            if term is not None:
+                np.bitwise_and(term, signal, out=term)
+            elif first is None:
+                first = signal
+            else:
+                np.bitwise_and(first, signal, out=scratch)
+                term = scratch
+        value = term if term is not None else first
+        if out is None:
+            out = np.array(value)  # own it: scratch is reused next cube
+        else:
+            np.bitwise_or(out, value, out=out)
+    return zero_tail(out, num_vectors)
+
+
+def eval_table(table: np.ndarray, fanin_words, num_vectors: int) -> np.ndarray:
+    """Apply a dense local truth table to packed fanin signals.
+
+    Shannon-reduces the ``2**k`` table one input at a time — ``k`` numpy
+    calls total, independent of the cube or minterm count — which makes
+    it the preferred kernel for nodes whose dense table is available
+    (cell functions, cached SOP tables).
+
+    Args:
+        table: boolean array of length ``2**k``; entry *p* is the node
+            value under fanin pattern *p* (fanin *j* contributes bit *j*).
+        fanin_words: sequence of ``k`` packed signals.
+        num_vectors: valid bit count.
+    """
+    table = np.asarray(table, dtype=bool)
+    k = len(fanin_words)
+    if table.size != 1 << k:
+        raise ValueError(f"table size {table.size} != 2**{k}")
+    words = num_words(num_vectors)
+    if k == 0:
+        out = np.full(words, ALL_ONES if table[0] else np.uint64(0), np.uint64)
+        return zero_tail(out, num_vectors)
+    # First level: each pair (table[p], table[p + half]) is one of the four
+    # single-signal functions 0 / ~s / s / 1 — materialise those once and
+    # gather, instead of broadcasting two full constant matrices.
+    half = (1 << k) // 2
+    signal = fanin_words[k - 1]
+    choices = np.empty((4, words), np.uint64)
+    choices[0] = 0
+    np.bitwise_not(signal, out=choices[1])
+    choices[2] = signal
+    choices[3] = ALL_ONES
+    code = table[:half] + 2 * table[half:]
+    arr = choices[code]
+    # Remaining levels collapse rows pairwise in place with the three-op
+    # mux identity lo ^ ((lo ^ hi) & s) == (lo & ~s) | (hi & s).
+    for j in range(k - 2, -1, -1):
+        signal = fanin_words[j]
+        half //= 2
+        lo, hi = arr[:half], arr[half:]
+        np.bitwise_xor(lo, hi, out=hi)
+        np.bitwise_and(hi, signal, out=hi)
+        np.bitwise_xor(lo, hi, out=lo)
+        arr = lo
+    return zero_tail(arr[0], num_vectors)
+
+
+def pattern_masks(fanin_words, num_vectors: int) -> np.ndarray:
+    """Per-pattern vector masks: ``out[p]`` has bit *v* set iff vector *v*
+    drives the fanins to local pattern *p*.
+
+    The packed replacement for the scatter-based pattern histogramming in
+    the exhaustive ODC extraction: reachability of pattern *p* is
+    ``out[p].any()`` and observability is ``(out[p] & observable).any()``.
+    """
+    k = len(fanin_words)
+    words = num_words(num_vectors)
+    masks = np.full((1, words), ALL_ONES, dtype=np.uint64)
+    zero_tail(masks, num_vectors)
+    for j in range(k - 1, -1, -1):
+        signal = fanin_words[j]
+        split = np.empty((masks.shape[0] * 2, words), dtype=np.uint64)
+        split[0::2] = masks & ~signal
+        split[1::2] = masks & signal
+        masks = split
+    return masks

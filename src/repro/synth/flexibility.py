@@ -26,6 +26,8 @@ import numpy as np
 from ..core.spec import FunctionSpec
 from ..core.truthtable import DC, OFF, ON
 from ..sat.encode import CnfBuilder, encode_network
+from ..sim import engine as sim_engine
+from ..sim import packed as sim_packed
 from .network import LogicNetwork
 
 __all__ = ["node_flexibility_sat"]
@@ -96,15 +98,16 @@ def node_flexibility_sat(
     k = len(node.fanins)
     rng = rng or np.random.default_rng(0)
 
-    # --- Simulation phase: observe patterns and flip-propagation.
+    # --- Simulation phase (packed): observe which fanin patterns occur.
     num_pis = len(network.primary_inputs)
     vectors = rng.random((simulation_vectors, num_pis)) < 0.5
-    values = network.evaluate_vectors(vectors)
-    pattern = np.zeros(simulation_vectors, dtype=np.int64)
-    for position, fanin in enumerate(node.fanins):
-        pattern |= values[fanin].astype(np.int64) << position
-    observed = np.zeros(1 << k, dtype=bool)
-    np.logical_or.at(observed, pattern, True)
+    values = sim_engine.network_values(
+        network, sim_packed.pack_matrix(vectors), simulation_vectors
+    )
+    masks = sim_packed.pattern_masks(
+        [values[fanin] for fanin in node.fanins], simulation_vectors
+    )
+    observed = np.any(masks != 0, axis=1)
 
     # --- SAT phase: one base encoding, assumptions per pattern query.
     builder = CnfBuilder()

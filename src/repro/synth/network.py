@@ -9,7 +9,16 @@ technology mapping turns the network into a cell netlist.
 Signals are named strings; primary inputs are declared up front, outputs
 point at signals.  Evaluation is dense: every signal's boolean function
 over the primary-input space is computed in topological order, which at the
-paper's scale (n <= 16 inputs) is exact and fast.
+paper's scale (n <= 16 inputs) is exact and fast.  The evaluation methods
+run on the packed bit-parallel engine (:mod:`repro.sim`) — 64 vectors per
+uint64 word — and unpack at the boundary; ``evaluate_reference`` /
+``evaluate_vectors_reference`` keep the byte-per-vector implementations as
+the oracle for the engine's equivalence tests.
+
+Structure queries (:meth:`LogicNetwork.topological_order`,
+:meth:`LogicNetwork.fanouts`) are cached and invalidated by the mutating
+methods; code that rewrites ``node.fanins`` directly must call
+:meth:`LogicNetwork.invalidate_structure_caches`.
 """
 
 from __future__ import annotations
@@ -61,6 +70,8 @@ class LogicNetwork:
         self.nodes: dict[str, LogicNode] = {}
         self.outputs: dict[str, str] = {}  # output name -> signal name
         self._counter = 0
+        self._topo_cache: tuple[str, ...] | None = None
+        self._fanout_cache: dict[str, tuple[str, ...]] | None = None
 
     # ------------------------------------------------------------- building
 
@@ -102,6 +113,7 @@ class LogicNetwork:
                 raise ValueError(f"node {name!r}: undefined fanin {fanin!r}")
         node = LogicNode(name, list(fanins), cover)
         self.nodes[name] = node
+        self.invalidate_structure_caches()
         return node
 
     def set_output(self, output_name: str, signal: str) -> None:
@@ -109,45 +121,62 @@ class LogicNetwork:
         if signal not in self.nodes and signal not in self.primary_inputs:
             raise ValueError(f"undefined signal {signal!r}")
         self.outputs[output_name] = signal
+        self.invalidate_structure_caches()
 
     # ------------------------------------------------------------- structure
 
+    def invalidate_structure_caches(self) -> None:
+        """Drop the cached topological order and fanout map.
+
+        The mutating methods call this automatically; callers that assign
+        ``node.fanins`` directly (e.g. the divisor-extraction rewrites)
+        must call it themselves.
+        """
+        self._topo_cache = None
+        self._fanout_cache = None
+
     def topological_order(self) -> list[str]:
-        """Node names in fanin-before-fanout order.
+        """Node names in fanin-before-fanout order (cached).
 
         Raises:
             ValueError: if the network contains a cycle.
         """
-        order: list[str] = []
-        state: dict[str, int] = {}
+        if self._topo_cache is None:
+            order: list[str] = []
+            state: dict[str, int] = {}
 
-        def visit(name: str) -> None:
-            if name in self.primary_inputs:
-                return
-            mark = state.get(name, 0)
-            if mark == 1:
-                raise ValueError(f"combinational cycle through {name!r}")
-            if mark == 2:
-                return
-            state[name] = 1
-            for fanin in self.nodes[name].fanins:
-                visit(fanin)
-            state[name] = 2
-            order.append(name)
+            def visit(name: str) -> None:
+                if name in self.primary_inputs:
+                    return
+                mark = state.get(name, 0)
+                if mark == 1:
+                    raise ValueError(f"combinational cycle through {name!r}")
+                if mark == 2:
+                    return
+                state[name] = 1
+                for fanin in self.nodes[name].fanins:
+                    visit(fanin)
+                state[name] = 2
+                order.append(name)
 
-        for name in self.nodes:
-            visit(name)
-        return order
+            for name in self.nodes:
+                visit(name)
+            self._topo_cache = tuple(order)
+        return list(self._topo_cache)
 
     def fanouts(self) -> dict[str, list[str]]:
-        """Map from signal name to the nodes that read it."""
-        result: dict[str, list[str]] = {name: [] for name in self.primary_inputs}
-        for name in self.nodes:
-            result.setdefault(name, [])
-        for node in self.nodes.values():
-            for fanin in node.fanins:
-                result[fanin].append(node.name)
-        return result
+        """Map from signal name to the nodes that read it (cached)."""
+        if self._fanout_cache is None:
+            result: dict[str, list[str]] = {name: [] for name in self.primary_inputs}
+            for name in self.nodes:
+                result.setdefault(name, [])
+            for node in self.nodes.values():
+                for fanin in node.fanins:
+                    result[fanin].append(node.name)
+            self._fanout_cache = {
+                name: tuple(readers) for name, readers in result.items()
+            }
+        return {name: list(readers) for name, readers in self._fanout_cache.items()}
 
     def sweep_dangling(self) -> int:
         """Remove nodes that feed neither an output nor another node.
@@ -169,6 +198,7 @@ class LogicNetwork:
             for name in dead:
                 del self.nodes[name]
                 removed += 1
+            self.invalidate_structure_caches()
 
     @property
     def num_literals(self) -> int:
@@ -178,7 +208,27 @@ class LogicNetwork:
     # ------------------------------------------------------------ evaluation
 
     def evaluate(self) -> dict[str, np.ndarray]:
-        """Boolean function of every signal over the primary-input space."""
+        """Boolean function of every signal over the primary-input space.
+
+        Runs on the packed bit-parallel engine and unpacks every signal;
+        bit-identical to :meth:`evaluate_reference` (tested).
+        """
+        from ..sim import engine as sim_engine
+        from ..sim import packed as sim_packed
+
+        size = 1 << len(self.primary_inputs)
+        packed = sim_engine.network_values(self)
+        return {
+            name: sim_packed.unpack_bool(words, size)
+            for name, words in packed.items()
+        }
+
+    def evaluate_reference(self) -> dict[str, np.ndarray]:
+        """Byte-per-vector reference implementation of :meth:`evaluate`.
+
+        Kept as the oracle for the packed engine's randomized equivalence
+        tests and the ``sim_packed_vs_bool`` benchmark baseline.
+        """
         size = 1 << len(self.primary_inputs)
         idx = np.arange(size, dtype=np.int64)
         values: dict[str, np.ndarray] = {}
@@ -198,7 +248,9 @@ class LogicNetwork:
 
         Unlike :meth:`evaluate`, this does not enumerate the full input
         space and therefore scales to arbitrarily wide networks — the
-        entry point for Monte-Carlo reliability estimation.
+        entry point for Monte-Carlo reliability estimation.  The vectors
+        are packed 64-per-word, simulated on the packed engine, and the
+        results unpacked.
 
         Args:
             inputs: boolean array of shape ``(num_vectors, num_inputs)``;
@@ -208,6 +260,26 @@ class LogicNetwork:
             Map from signal name to a boolean array of length
             ``num_vectors``.
         """
+        from ..sim import engine as sim_engine
+        from ..sim import packed as sim_packed
+
+        inputs = np.asarray(inputs, dtype=bool)
+        if inputs.ndim != 2 or inputs.shape[1] != len(self.primary_inputs):
+            raise ValueError(
+                f"expected (*, {len(self.primary_inputs)}) inputs, got {inputs.shape}"
+            )
+        num_vectors = inputs.shape[0]
+        packed = sim_engine.network_values(
+            self, sim_packed.pack_matrix(inputs), num_vectors
+        )
+        return {
+            name: sim_packed.unpack_bool(words, num_vectors)
+            for name, words in packed.items()
+        }
+
+    def evaluate_vectors_reference(self, inputs: np.ndarray) -> dict[str, np.ndarray]:
+        """Byte-per-vector reference implementation of
+        :meth:`evaluate_vectors` (the packed engine's test oracle)."""
         inputs = np.asarray(inputs, dtype=bool)
         if inputs.ndim != 2 or inputs.shape[1] != len(self.primary_inputs):
             raise ValueError(
@@ -228,8 +300,14 @@ class LogicNetwork:
 
     def output_table(self) -> np.ndarray:
         """Stacked output truth tables, ordered by output declaration."""
-        values = self.evaluate()
-        return np.vstack([values[sig] for sig in self.outputs.values()])
+        from ..sim import engine as sim_engine
+        from ..sim import packed as sim_packed
+
+        size = 1 << len(self.primary_inputs)
+        packed = sim_engine.network_values(self)
+        return np.vstack(
+            [sim_packed.unpack_bool(packed[sig], size) for sig in self.outputs.values()]
+        )
 
     def to_spec(self, *, name: str = "network") -> FunctionSpec:
         """The fully specified function the network implements."""

@@ -13,6 +13,17 @@ rate at which errors *inside* the circuit are logically masked.  This
 module implements the extraction (exhaustive and exact over the PI space),
 the reassignment loop, and the internal-error-rate metric used to evaluate
 it.
+
+All three run on the packed simulation engine (:mod:`repro.sim`): the
+network is simulated once into 64-vectors-per-word signals, each node
+flip re-evaluates only the flipped node's fanout cone
+(:class:`~repro.sim.incremental.IncrementalNetworkSim`), and pattern
+reachability/observability is decided with per-pattern word masks
+instead of scatter operations.  An N-node sweep therefore costs
+``O(sum of cone sizes)`` node evaluations rather than N full network
+re-simulations; ``_evaluate_with_flip`` keeps the original full-walk
+boolean implementation as the oracle for the equivalence tests and the
+``odc_incremental_vs_full`` benchmark baseline.
 """
 
 from __future__ import annotations
@@ -27,6 +38,9 @@ from ..core.spec import FunctionSpec
 from ..core.truthtable import DC, OFF, ON
 from ..espresso.cube import Cover
 from ..espresso.minimize import espresso
+from ..obs import span
+from ..sim import packed as pk
+from ..sim.incremental import IncrementalNetworkSim
 from .network import LogicNetwork
 
 __all__ = [
@@ -40,7 +54,12 @@ __all__ = [
 def _evaluate_with_flip(
     network: LogicNetwork, values: dict[str, np.ndarray], flip: str
 ) -> np.ndarray:
-    """PO tables when signal *flip*'s value is complemented everywhere."""
+    """PO tables when signal *flip*'s value is complemented everywhere.
+
+    Boolean full-topological-walk reference for the packed cone-restricted
+    path (:meth:`IncrementalNetworkSim.flip_outputs`); used by the
+    equivalence tests and benchmark baselines, not by the hot paths.
+    """
     patched: dict[str, np.ndarray] = dict(values)
     patched[flip] = ~values[flip]
     for name in network.topological_order():
@@ -63,8 +82,8 @@ def node_flexibility(
     node_name: str,
     *,
     values: dict[str, np.ndarray] | None = None,
-    po_table: np.ndarray | None = None,
     external_dc: np.ndarray | None = None,
+    sim: IncrementalNetworkSim | None = None,
 ) -> FunctionSpec:
     """The node's local incompletely specified function over its fanins.
 
@@ -76,40 +95,38 @@ def node_flexibility(
     Args:
         network: the network.
         node_name: node to analyse.
-        values: pre-computed signal tables (optional, for reuse).
-        po_table: pre-computed output table (optional).
+        values: pre-computed boolean signal tables (optional; adopted
+            into a packed simulator for reuse).
         external_dc: boolean array (num_outputs, 2**num_PIs) marking
             externally-DC (output, vector) entries that never matter.
+        sim: a live :class:`IncrementalNetworkSim` for the network
+            (optional, for reuse across nodes — the cheap path).
 
     Returns:
         A single-output :class:`FunctionSpec` over the node's fanins.
     """
-    values = values if values is not None else network.evaluate()
-    po_table = po_table if po_table is not None else np.vstack(
-        [values[sig] for sig in network.outputs.values()]
-    )
+    if sim is None:
+        sim = (
+            IncrementalNetworkSim.from_bool_values(network, values)
+            if values is not None
+            else IncrementalNetworkSim(network)
+        )
     node = network.nodes[node_name]
-    flipped = _evaluate_with_flip(network, values, node_name)
-    observable = po_table != flipped
-    if external_dc is not None:
-        observable &= ~external_dc
-    vector_observable = np.any(observable, axis=0)
-
     k = len(node.fanins)
-    pattern = np.zeros(values[node_name].shape, dtype=np.int64)
-    for position, fanin in enumerate(node.fanins):
-        pattern |= values[fanin].astype(np.int64) << position
+    num_vectors = sim.num_vectors
 
-    local_values = node.cover.evaluate()
-    phases = np.full(1 << k, DC, dtype=np.uint8)
-    reachable = np.zeros(1 << k, dtype=bool)
-    np.logical_or.at(reachable, pattern, True)
-    cares = np.zeros(1 << k, dtype=bool)
-    np.logical_or.at(cares, pattern, vector_observable)
-    phases[cares] = np.where(local_values[cares], ON, OFF)
+    diff = sim.output_words() ^ sim.flip_outputs(node_name)
+    if external_dc is not None:
+        diff &= ~pk.pack_matrix(np.asarray(external_dc, dtype=bool).T)
+    observable = np.bitwise_or.reduce(diff, axis=0)
+
+    masks = pk.pattern_masks([sim.values[f] for f in node.fanins], num_vectors)
+    cares = np.any(masks & observable, axis=1)
     # Reachable but never-observable patterns and unreachable patterns both
     # stay DC.
-    del reachable
+    local_values = node.cover.evaluate()
+    phases = np.full(1 << k, DC, dtype=np.uint8)
+    phases[cares] = np.where(local_values[cares], ON, OFF)
     return FunctionSpec(
         phases[None, :],
         name=f"{node_name}/local",
@@ -122,6 +139,7 @@ def internal_error_rate(
     network: LogicNetwork,
     *,
     source_mask: np.ndarray | None = None,
+    sim: IncrementalNetworkSim | None = None,
 ) -> float:
     """Probability that flipping a random internal node propagates.
 
@@ -134,21 +152,28 @@ def internal_error_rate(
     Args:
         network: the network under test.
         source_mask: admissible PI vectors (default: all).
+        sim: a live :class:`IncrementalNetworkSim` to reuse (optional).
     """
-    values = network.evaluate()
-    po_table = np.vstack([values[sig] for sig in network.outputs.values()])
-    size = po_table.shape[1]
-    if source_mask is None:
-        source_mask = np.ones(size, dtype=bool)
     node_names = list(network.nodes)
     if not node_names:
         return 0.0
-    total = 0.0
-    for name in node_names:
-        flipped = _evaluate_with_flip(network, values, name)
-        propagates = np.any(po_table != flipped, axis=0)
-        total += float(np.count_nonzero(propagates & source_mask))
-    return total / (len(node_names) * max(1, int(np.count_nonzero(source_mask))))
+    if sim is None:
+        sim = IncrementalNetworkSim(network)
+    base = sim.output_words()
+    if source_mask is None:
+        source_words = None
+        admissible = sim.num_vectors
+    else:
+        source_words = pk.pack_bool(np.asarray(source_mask, dtype=bool))
+        admissible = pk.popcount(source_words)
+    total = 0
+    with span("odc.internal_error_rate", nodes=len(node_names)):
+        for name in node_names:
+            diff = np.bitwise_or.reduce(base ^ sim.flip_outputs(name), axis=0)
+            if source_words is not None:
+                diff &= source_words
+            total += pk.popcount(diff)
+    return total / (len(node_names) * max(1, admissible))
 
 
 @dataclass(frozen=True)
@@ -177,11 +202,17 @@ def reassign_internal_dcs(
 ) -> NodalReport:
     """Reassign every node's internal DCs for reliability (in place).
 
-    Nodes are processed one at a time and the network re-simulated after
-    each rewrite, so later nodes see flexibilities consistent with earlier
-    decisions (the classic compatibility issue with simultaneous ODCs).
-    Remaining DCs are used conventionally by ESPRESSO when rebuilding the
-    node cover, so area can *shrink* while masking improves.
+    Nodes are processed one at a time and the affected fanout cone
+    re-simulated after each rewrite, so later nodes see flexibilities
+    consistent with earlier decisions (the classic compatibility issue
+    with simultaneous ODCs).  Remaining DCs are used conventionally by
+    ESPRESSO when rebuilding the node cover, so area can *shrink* while
+    masking improves.
+
+    One packed simulator is shared across the whole pass: flexibility
+    extraction, the per-rewrite output self-check, and both error-rate
+    measurements reuse its signal values, and every rewrite refreshes
+    only the rewritten node's cone.
 
     Args:
         network: network to rewrite (mutated).
@@ -196,28 +227,33 @@ def reassign_internal_dcs(
     """
     if policy not in ("cfactor", "ranking"):
         raise ValueError(f"unknown policy {policy!r}")
-    reference = network.output_table()
-    before = internal_error_rate(network)
-    changed = 0
-    assigned_total = 0
-    for name in list(network.topological_order()):
-        node = network.nodes[name]
-        if len(node.fanins) > max_fanins:
-            continue
-        local = node_flexibility(network, name)
-        if not int(np.count_nonzero(local.phases == DC)):
-            continue
-        if policy == "cfactor":
-            assignment = cfactor_assignment(local, threshold)
-        else:
-            assignment = ranking_assignment(local, fraction)
-        assigned = assignment.apply(local) if len(assignment) else local
-        on_cover = Cover.from_minterms(len(node.fanins), assigned.on_set(0))
-        dc_cover = Cover.from_minterms(len(node.fanins), assigned.dc_set(0))
-        node.cover = espresso(on_cover, dc_cover)
-        changed += 1
-        assigned_total += len(assignment)
-        if not bool(np.array_equal(network.output_table(), reference)):
-            raise ValueError(f"rewriting node {name!r} changed the primary outputs")
-    after = internal_error_rate(network)
+    with span("odc.reassign", nodes=len(network.nodes), policy=policy):
+        sim = IncrementalNetworkSim(network)
+        reference = sim.output_words().copy()
+        before = internal_error_rate(network, sim=sim)
+        changed = 0
+        assigned_total = 0
+        for name in list(network.topological_order()):
+            node = network.nodes[name]
+            if len(node.fanins) > max_fanins:
+                continue
+            local = node_flexibility(network, name, sim=sim)
+            if not int(np.count_nonzero(local.phases == DC)):
+                continue
+            if policy == "cfactor":
+                assignment = cfactor_assignment(local, threshold)
+            else:
+                assignment = ranking_assignment(local, fraction)
+            assigned = assignment.apply(local) if len(assignment) else local
+            on_cover = Cover.from_minterms(len(node.fanins), assigned.on_set(0))
+            dc_cover = Cover.from_minterms(len(node.fanins), assigned.dc_set(0))
+            node.cover = espresso(on_cover, dc_cover)
+            changed += 1
+            assigned_total += len(assignment)
+            sim.recompute(name)
+            if not bool(np.array_equal(sim.output_words(), reference)):
+                raise ValueError(
+                    f"rewriting node {name!r} changed the primary outputs"
+                )
+        after = internal_error_rate(network, sim=sim)
     return NodalReport(changed, assigned_total, before, after)

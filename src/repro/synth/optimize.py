@@ -44,6 +44,10 @@ def _rewrite_node(
     node = network.nodes[name]
     node.fanins = signals
     node.cover = cover
+    # Direct fanin rewrite: the cached topological order / fanout map are
+    # stale now (add_node/set_output invalidate automatically, this does
+    # not go through them).
+    network.invalidate_structure_caches()
 
 
 def _install_divisor(network: LogicNetwork, divisor: CubeSet, stem: str) -> str:

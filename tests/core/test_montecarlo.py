@@ -100,12 +100,77 @@ class TestWideNetwork:
         assert estimate.rate == pytest.approx(1 / 32, abs=0.005)
 
 
+class TestBatchAccounting:
+    """A source filter must not silently shrink the trial budget."""
+
+    def test_sparse_filter_still_reaches_target(self):
+        """A filter admitting ~25% of draws: replacement batches are drawn
+        until exactly `samples` admissible trials are used."""
+        spec = FunctionSpec.from_truth_table(np.array([[0, 1, 0, 1]]))
+        estimate = estimate_error_rate(
+            spec_evaluator(spec), 2, samples=1500,
+            rng=np.random.default_rng(10),
+            source_filter=lambda vectors: vectors[:, 0] & vectors[:, 1],
+        )
+        assert estimate.samples == 1500
+
+    def test_whole_batch_rejection_makes_progress(self):
+        """Batches rejected outright used to vanish from the budget; now
+        they are redrawn."""
+        spec = FunctionSpec.from_truth_table(np.array([[0, 1, 0, 1]]))
+        calls = []
+
+        def reject_first_batches(vectors):
+            calls.append(vectors.shape[0])
+            if len(calls) <= 2:
+                return np.zeros(vectors.shape[0], dtype=bool)
+            return np.ones(vectors.shape[0], dtype=bool)
+
+        estimate = estimate_error_rate(
+            spec_evaluator(spec), 2, samples=200, batch=64,
+            rng=np.random.default_rng(11),
+            source_filter=reject_first_batches,
+        )
+        assert estimate.samples == 200
+        assert len(calls) > 2
+
+    def test_draw_budget_bounds_unsatisfiable_filter(self):
+        """An unsatisfiable filter terminates after max_draw_factor *
+        samples raw draws with a zero estimate."""
+        spec = FunctionSpec.from_truth_table(np.array([[0, 1, 0, 1]]))
+        calls = []
+
+        def never(vectors):
+            calls.append(vectors.shape[0])
+            return np.zeros(vectors.shape[0], dtype=bool)
+
+        estimate = estimate_error_rate(
+            spec_evaluator(spec), 2, samples=100, batch=50,
+            rng=np.random.default_rng(12),
+            source_filter=never, max_draw_factor=4,
+        )
+        assert estimate.samples == 0
+        assert estimate.rate == 0.0
+        assert sum(calls) <= 4 * 100
+
+    def test_no_filter_uses_exactly_samples(self):
+        spec = FunctionSpec.from_truth_table(np.array([[0, 1, 0, 1]]))
+        estimate = estimate_error_rate(
+            spec_evaluator(spec), 2, samples=777, rng=np.random.default_rng(13)
+        )
+        assert estimate.samples == 777
+
+
 class TestValidation:
     def test_bad_parameters(self):
         with pytest.raises(ValueError, match="num_inputs"):
             estimate_error_rate(lambda v: v.T, 0, samples=10)
         with pytest.raises(ValueError, match="samples"):
             estimate_error_rate(lambda v: v.T, 3, samples=0)
+
+    def test_requires_an_evaluator(self):
+        with pytest.raises(ValueError, match="evaluator"):
+            estimate_error_rate(None, 3, samples=10)
 
     def test_confidence_interval_clamped(self):
         estimate = MonteCarloEstimate(rate=0.001, stderr=0.01, samples=10)

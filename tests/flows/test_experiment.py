@@ -112,6 +112,40 @@ class TestSweeps:
         assert row.gates > 0
 
 
+class TestSampledErrorRate:
+    def test_inverter_chain_always_propagates(self):
+        from repro.flows.experiment import sampled_error_rate
+        from repro.synth.library import generic_70nm_library
+        from repro.synth.netlist import GateInstance, MappedNetlist
+
+        lib = generic_70nm_library()
+        netlist = MappedNetlist(lib, ["a"])
+        inv = lib.cell("INV_X1")
+        netlist.gates.append(GateInstance(inv, "n0", ["a"]))
+        netlist.gates.append(GateInstance(inv, "n1", ["n0"]))
+        netlist.outputs["y"] = "n1"
+        estimate = sampled_error_rate(netlist, samples=500)
+        # The only pin is the single input of a buffer: every flip shows.
+        assert estimate.rate == pytest.approx(1.0)
+        assert estimate.samples == 500
+
+    def test_matches_exhaustive_on_synthesised_circuit(self, small_spec):
+        from repro.flows.experiment import sampled_error_rate
+        from repro.synth.compile_ import compile_spec
+
+        result = compile_spec(small_spec, objective="area")
+        netlist = result.netlist
+        estimate = sampled_error_rate(
+            netlist, samples=30_000, rng=np.random.default_rng(21)
+        )
+        # An unfiltered sampled rate over the uniform input distribution
+        # must sit near the per-pin average propagation probability; the
+        # synthesised netlist is small enough that the estimate is tight.
+        lo, hi = estimate.confidence_interval(z=5.0)
+        assert 0.0 <= lo <= hi <= 1.0
+        assert estimate.samples == 30_000
+
+
 class TestReport:
     def test_format_table(self):
         text = format_table(

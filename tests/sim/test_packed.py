@@ -1,0 +1,201 @@
+"""Tests for the packed-word simulation primitives."""
+
+import numpy as np
+import pytest
+
+from repro.espresso.cube import Cover
+from repro.sim import packed as pk
+
+
+def random_bits(rng, count):
+    return rng.random(count) < 0.5
+
+
+class TestWordGeometry:
+    @pytest.mark.parametrize(
+        "vectors,words", [(1, 1), (63, 1), (64, 1), (65, 2), (128, 2), (200, 4)]
+    )
+    def test_num_words(self, vectors, words):
+        assert pk.num_words(vectors) == words
+
+    def test_num_words_rejects_nonpositive(self):
+        with pytest.raises(ValueError, match="positive"):
+            pk.num_words(0)
+
+    def test_tail_mask(self):
+        assert pk.tail_mask(64) == pk.ALL_ONES
+        assert pk.tail_mask(1) == np.uint64(1)
+        assert pk.tail_mask(65) == np.uint64(1)
+        assert pk.tail_mask(70) == np.uint64(0x3F)
+
+    def test_zero_tail_clears_garbage(self):
+        words = np.full(2, pk.ALL_ONES, dtype=np.uint64)
+        pk.zero_tail(words, 70)
+        assert words[0] == pk.ALL_ONES
+        assert words[1] == np.uint64(0x3F)
+
+
+class TestPackUnpack:
+    @pytest.mark.parametrize("count", [1, 7, 63, 64, 65, 129, 1000])
+    def test_bool_roundtrip(self, count):
+        rng = np.random.default_rng(count)
+        values = random_bits(rng, count)
+        words = pk.pack_bool(values)
+        assert words.dtype == np.uint64
+        assert words.shape == (pk.num_words(count),)
+        np.testing.assert_array_equal(pk.unpack_bool(words, count), values)
+
+    def test_pack_bool_tail_is_zero(self):
+        words = pk.pack_bool(np.ones(70, dtype=bool))
+        assert words[1] == pk.tail_mask(70)
+
+    def test_pack_bool_bit_order(self):
+        # Vector v lives at bit v % 64 of word v // 64 (little-endian).
+        values = np.zeros(65, dtype=bool)
+        values[0] = values[3] = values[64] = True
+        words = pk.pack_bool(values)
+        assert words[0] == np.uint64(0b1001)
+        assert words[1] == np.uint64(1)
+
+    def test_pack_bool_rejects_matrix(self):
+        with pytest.raises(ValueError, match="1-D"):
+            pk.pack_bool(np.zeros((2, 2), dtype=bool))
+
+    @pytest.mark.parametrize("vectors,signals", [(1, 1), (64, 3), (100, 5)])
+    def test_matrix_roundtrip(self, vectors, signals):
+        rng = np.random.default_rng(vectors * 31 + signals)
+        matrix = rng.random((vectors, signals)) < 0.5
+        words = pk.pack_matrix(matrix)
+        assert words.shape == (signals, pk.num_words(vectors))
+        np.testing.assert_array_equal(pk.unpack_matrix(words, vectors), matrix.T)
+
+    def test_matrix_rows_match_columns(self):
+        matrix = np.eye(4, dtype=bool)
+        words = pk.pack_matrix(matrix)
+        for j in range(4):
+            np.testing.assert_array_equal(
+                pk.unpack_bool(words[j], 4), matrix[:, j]
+            )
+
+
+class TestPiSpace:
+    @pytest.mark.parametrize("n", [1, 2, 5, 6, 7, 9])
+    def test_matches_minterm_bits(self, n):
+        size = 1 << n
+        idx = np.arange(size)
+        words = pk.pi_space(n)
+        assert words.shape == (n, pk.num_words(size))
+        for i in range(n):
+            np.testing.assert_array_equal(
+                pk.unpack_bool(words[i], size), ((idx >> i) & 1).astype(bool)
+            )
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError, match="positive"):
+            pk.pi_space(0)
+
+
+class TestPopcount:
+    @pytest.mark.parametrize("count", [1, 64, 321])
+    def test_matches_numpy(self, count):
+        rng = np.random.default_rng(count + 17)
+        values = random_bits(rng, count)
+        assert pk.popcount(pk.pack_bool(values)) == int(np.count_nonzero(values))
+
+    def test_matrix_input(self):
+        words = np.array([[1, 3], [7, 0]], dtype=np.uint64)
+        assert pk.popcount(words) == 6
+
+
+class TestEvalCover:
+    def random_cover(self, rng, k, cubes):
+        rows = rng.choice([0, 1, 2], size=(cubes, k), p=[0.3, 0.3, 0.4])
+        return Cover(rows.astype(np.uint8), k)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_dense_table(self, seed):
+        rng = np.random.default_rng(seed)
+        k = int(rng.integers(1, 7))
+        cover = self.random_cover(rng, k, int(rng.integers(1, 5)))
+        fanin_words = pk.pi_space(k)
+        result = pk.eval_cover(cover, fanin_words, 1 << k)
+        np.testing.assert_array_equal(
+            pk.unpack_bool(result, 1 << k), cover.evaluate()
+        )
+
+    def test_empty_cover_is_constant_zero(self):
+        result = pk.eval_cover(Cover.empty(2), pk.pi_space(2), 4)
+        assert pk.popcount(result) == 0
+
+    def test_tautology_cube_is_constant_one(self):
+        cover = Cover.from_strings(["--"])
+        result = pk.eval_cover(cover, pk.pi_space(2), 4)
+        np.testing.assert_array_equal(pk.unpack_bool(result, 4), np.ones(4, bool))
+
+    def test_does_not_mutate_fanins(self):
+        cover = Cover.from_strings(["10", "01"])
+        fanin_words = pk.pi_space(2)
+        before = fanin_words.copy()
+        pk.eval_cover(cover, fanin_words, 4)
+        np.testing.assert_array_equal(fanin_words, before)
+
+    def test_tail_stays_zero(self):
+        # 70 vectors over a complementing cover: ~x must be re-masked.
+        rng = np.random.default_rng(0)
+        matrix = rng.random((70, 2)) < 0.5
+        fanin_words = pk.pack_matrix(matrix)
+        result = pk.eval_cover(Cover.from_strings(["00"]), fanin_words, 70)
+        assert result[-1] & ~pk.tail_mask(70) == 0
+
+
+class TestEvalTable:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_indexing(self, seed):
+        rng = np.random.default_rng(100 + seed)
+        k = int(rng.integers(1, 8))
+        table = random_bits(rng, 1 << k)
+        vectors = int(rng.integers(1, 200))
+        matrix = rng.random((vectors, k)) < 0.5
+        fanin_words = pk.pack_matrix(matrix)
+        pattern = np.zeros(vectors, dtype=np.int64)
+        for j in range(k):
+            pattern |= matrix[:, j].astype(np.int64) << j
+        result = pk.eval_table(table, fanin_words, vectors)
+        np.testing.assert_array_equal(pk.unpack_bool(result, vectors), table[pattern])
+
+    @pytest.mark.parametrize("value", [False, True])
+    def test_zero_input_constant(self, value):
+        result = pk.eval_table(np.array([value]), [], 70)
+        expected = np.full(70, value, dtype=bool)
+        np.testing.assert_array_equal(pk.unpack_bool(result, 70), expected)
+        assert result[-1] & ~pk.tail_mask(70) == 0
+
+    def test_size_validated(self):
+        with pytest.raises(ValueError, match="table size"):
+            pk.eval_table(np.zeros(3, dtype=bool), pk.pi_space(2), 4)
+
+
+class TestPatternMasks:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_masks_partition_vectors(self, seed):
+        rng = np.random.default_rng(200 + seed)
+        k = int(rng.integers(1, 6))
+        vectors = int(rng.integers(1, 200))
+        matrix = rng.random((vectors, k)) < 0.5
+        fanin_words = pk.pack_matrix(matrix)
+        pattern = np.zeros(vectors, dtype=np.int64)
+        for j in range(k):
+            pattern |= matrix[:, j].astype(np.int64) << j
+        masks = pk.pattern_masks(fanin_words, vectors)
+        assert masks.shape == (1 << k, pk.num_words(vectors))
+        for p in range(1 << k):
+            np.testing.assert_array_equal(
+                pk.unpack_bool(masks[p], vectors), pattern == p
+            )
+        # A partition: each vector in exactly one mask, tails all zero.
+        assert pk.popcount(masks) == vectors
+
+    def test_zero_fanins(self):
+        masks = pk.pattern_masks([], 5)
+        assert masks.shape == (1, 1)
+        assert pk.popcount(masks) == 5
