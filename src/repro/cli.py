@@ -16,6 +16,12 @@ Commands
     ``--jobs`` fans the sweep points out over worker processes.
 ``gen --inputs N --outputs M --cf C --dc D [-o OUT]``
     Generate a synthetic benchmark PLA.
+``pipeline run <file.pla|name> [--config FILE] [--checkpoint-dir DIR]``
+    Run a declarative stage-graph pipeline (default: the standard
+    six-stage flow); with ``--checkpoint-dir`` an interrupted or
+    re-parameterised run resumes from the last valid stage output.
+``pipeline stages``
+    List the registered pipeline stages (also in ``info --json``).
 
 Positional benchmark arguments accept either a ``.pla`` path or a Table 1
 stand-in name (``bench``, ``ex1010``, ...).
@@ -59,6 +65,8 @@ def _load_spec(token: str) -> FunctionSpec:
 
 
 def _cmd_info(args: argparse.Namespace) -> int:
+    from .pipeline import stage_names
+
     spec = _load_spec(args.benchmark)
     bounds = exact_error_bounds(spec)
     if args.json:
@@ -71,6 +79,7 @@ def _cmd_info(args: argparse.Namespace) -> int:
             "expected_complexity_factor": spec_expected_complexity_factor(spec),
             "exact_error_min": bounds.lo,
             "exact_error_max": bounds.hi,
+            "pipeline_stages": stage_names(),
         }, indent=2, sort_keys=True))
         return 0
     rows = [
@@ -161,7 +170,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     )
     results = fraction_sweep(
         spec, fractions, objective=args.objective, jobs=args.jobs,
-        progress=progress,
+        progress=progress, checkpoint_dir=args.checkpoint_dir,
     )
     baseline = results[0] if fractions and fractions[0] == 0.0 else run_flow(
         spec, "ranking", fraction=0.0, objective=args.objective
@@ -217,6 +226,104 @@ def _cmd_export(args: argparse.Namespace) -> int:
     paths = export_all(args.directory, names=args.benchmarks)
     for path in paths:
         print(f"wrote {path}")
+    return 0
+
+
+def _cmd_pipeline_run(args: argparse.Namespace) -> int:
+    import dataclasses
+
+    from .flows.experiment import flow_result
+    from .flows.report import format_table
+    from .obs import metrics as obs_metrics
+    from .pipeline import CheckpointStore, Pipeline, default_config, load_config
+
+    spec = _load_spec(args.benchmark)
+    if args.config:
+        config = load_config(args.config)
+    else:
+        config = default_config(
+            args.policy,
+            fraction=args.fraction,
+            threshold=args.threshold,
+            objective=args.objective,
+        )
+    checkpoint = (
+        CheckpointStore(args.checkpoint_dir) if args.checkpoint_dir else None
+    )
+    pipe = Pipeline.from_config(config, checkpoint=checkpoint)
+    ran_before = obs_metrics.counter("pipeline.stages_run").value
+    skipped_before = obs_metrics.counter("pipeline.stages_skipped").value
+    ctx = pipe.run(spec=spec, stop_after=args.stop_after)
+    stages_run = obs_metrics.counter("pipeline.stages_run").value - ran_before
+    stages_skipped = (
+        obs_metrics.counter("pipeline.stages_skipped").value - skipped_before
+    )
+    summary = {
+        "name": pipe.name,
+        "stages_run": stages_run,
+        "stages_skipped": stages_skipped,
+        "artifacts": ctx.keys(),
+    }
+    if "synthesis" in ctx and "assignment" in ctx:
+        result = flow_result(ctx)
+        if args.json:
+            print(json.dumps(
+                {"result": dataclasses.asdict(result), "pipeline": summary},
+                indent=2, sort_keys=True,
+            ))
+            return 0
+        rows = [
+            ["policy", result.policy],
+            ["objective", result.objective],
+            ["area", result.area],
+            ["delay", result.delay],
+            ["power", result.power],
+            ["gates", result.gates],
+            ["literals", result.literals],
+            ["error rate", result.error_rate],
+        ]
+        print(format_table(["metric", "value"], rows))
+    elif args.json:
+        print(json.dumps({"result": None, "pipeline": summary},
+                         indent=2, sort_keys=True))
+        return 0
+    else:
+        print(
+            f"pipeline {pipe.name!r} stopped with artefacts: "
+            f"{', '.join(ctx.keys())}"
+        )
+    print(
+        f"pipeline {pipe.name!r}: {stages_run} stage(s) run, "
+        f"{stages_skipped} restored from checkpoints"
+    )
+    return 0
+
+
+def _cmd_pipeline_stages(args: argparse.Namespace) -> int:
+    from .flows.report import format_table
+    from .pipeline import registered_stages
+
+    stages = registered_stages()
+    if args.json:
+        print(json.dumps(
+            {
+                name: {
+                    "inputs": list(stage.inputs),
+                    "outputs": list(stage.outputs),
+                    "params": list(stage.params),
+                    "version": stage.version,
+                }
+                for name, stage in stages.items()
+            },
+            indent=2, sort_keys=True,
+        ))
+        return 0
+    rows = [
+        [name, ", ".join(stage.inputs), ", ".join(stage.outputs),
+         ", ".join(stage.params) or "-"]
+        for name, stage in stages.items()
+    ]
+    print(format_table(["stage", "inputs", "outputs", "params"], rows))
     return 0
 
 
@@ -311,7 +418,40 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="worker processes for the sweep points")
     p_sweep.add_argument("--cache-stats", action="store_true",
                          help="print minimization-cache hit/miss counters")
+    p_sweep.add_argument("--checkpoint-dir", default=None,
+                         help="persist per-stage outputs here so interrupted "
+                              "sweeps resume from the last valid stage")
     p_sweep.set_defaults(func=_cmd_sweep)
+
+    p_pipe = sub.add_parser("pipeline", help="stage-graph pipelines")
+    pipe_sub = p_pipe.add_subparsers(dest="pipeline_command", required=True)
+    p_pipe_run = pipe_sub.add_parser(
+        "run", parents=[obs_parent],
+        help="run a declarative pipeline (default: the six-stage flow)",
+    )
+    p_pipe_run.add_argument("benchmark")
+    p_pipe_run.add_argument("--config", default=None,
+                            help="JSON pipeline config; overrides the policy/"
+                                 "objective flags below")
+    add_policy_args(p_pipe_run)
+    p_pipe_run.add_argument("--objective", default="delay",
+                            choices=["delay", "power", "area"])
+    p_pipe_run.add_argument("--checkpoint-dir", default=None,
+                            help="content-addressed stage checkpoint directory "
+                                 "(enables resume)")
+    p_pipe_run.add_argument("--stop-after", default=None, metavar="STAGE",
+                            help="stop after the named stage (checkpoints up "
+                                 "to it are kept)")
+    p_pipe_run.add_argument("--json", action="store_true",
+                            help="machine-readable result + pipeline summary")
+    p_pipe_run.set_defaults(func=_cmd_pipeline_run)
+    p_pipe_stages = pipe_sub.add_parser(
+        "stages", parents=[obs_parent],
+        help="list the registered pipeline stages",
+    )
+    p_pipe_stages.add_argument("--json", action="store_true",
+                               help="machine-readable registry listing")
+    p_pipe_stages.set_defaults(func=_cmd_pipeline_stages)
 
     p_nodal = add_parser(
         "nodal", help="internal-DC extraction and reassignment (Sec. 4)"

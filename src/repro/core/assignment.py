@@ -42,7 +42,10 @@ class Assignment:
         key = (output, minterm)
         previous = self.decisions.get(key)
         if previous is not None and previous != value:
-            raise ValueError(f"conflicting decisions for output {output}, minterm {minterm}")
+            raise ValueError(
+                f"conflicting decisions for output {output}, minterm {minterm}: "
+                f"already decided {previous}, now {value}"
+            )
         self.decisions[key] = value
 
     def __len__(self) -> int:
@@ -56,10 +59,15 @@ class Assignment:
         return self.decisions.items()
 
     def merged(self, other: "Assignment") -> "Assignment":
-        """Union of two assignments.
+        """Union of two assignments; neither operand is modified.
+
+        Every decision of *other* goes through :meth:`set`, so a minterm
+        decided ``ON`` by one operand and ``OFF`` by the other raises
+        instead of silently letting *other* win.
 
         Raises:
-            ValueError: on conflicting decisions.
+            ValueError: on conflicting decisions, naming the output,
+                minterm and both values.
         """
         result = Assignment(dict(self.decisions))
         for (output, minterm), value in other.items():

@@ -1,6 +1,18 @@
-"""Experiment flows: one call per paper artefact data point."""
+"""Experiment flows: one call per paper artefact data point.
 
-from .experiment import POLICIES, FlowResult, apply_policy, relative_metrics, run_flow
+Every flow is a thin driver over the stage graph of
+:mod:`repro.pipeline`; pass ``checkpoint_dir`` to any of them to make
+runs resumable (see ``docs/pipeline.md``).
+"""
+
+from .experiment import (
+    POLICIES,
+    FlowResult,
+    apply_policy,
+    flow_result,
+    relative_metrics,
+    run_flow,
+)
 from .export import export_all
 from .report import format_table
 from .sweep import (
@@ -17,6 +29,7 @@ __all__ = [
     "POLICIES",
     "FlowResult",
     "apply_policy",
+    "flow_result",
     "relative_metrics",
     "run_flow",
     "export_all",

@@ -6,24 +6,33 @@ through the conventional synthesis stack (ESPRESSO for the remaining DCs,
 multi-level optimisation, mapping, objective tuning) and measure area,
 delay, power, gate count and the input-error rate against the original
 care set.
+
+Since the stage-graph refactor ``run_flow`` is a thin driver over
+:mod:`repro.pipeline`: it assembles the default ``assign`` → ``espresso``
+→ ``optimize`` → ``map`` → ``tune`` → ``measure`` pipeline, runs it, and
+packages the context into a :class:`FlowResult`.  Pass ``checkpoint_dir``
+(or a prebuilt :class:`~repro.pipeline.checkpoint.CheckpointStore` via
+``checkpoint``) to persist per-stage outputs so an interrupted or
+re-parameterised run resumes from the last valid stage instead of
+recomputing the whole flow — see ``docs/pipeline.md``.
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import Callable
 
 import numpy as np
 
-from ..core.assignment import Assignment
-from ..core.cfactor import DEFAULT_THRESHOLD, cfactor_assignment
+from ..core.cfactor import DEFAULT_THRESHOLD
 from ..core.montecarlo import MonteCarloEstimate, estimate_error_rate
-from ..core.ranking import complete_assignment, ranking_assignment
 from ..core.spec import FunctionSpec
 from ..obs import metrics as obs_metrics
 from ..obs import span
+from ..pipeline import DEFAULT_STAGES, CheckpointStore, FlowContext, Pipeline
+from ..pipeline.stages import POLICIES, apply_policy
 from ..sim.engine import packed_netlist_evaluator
-from ..synth.compile_ import SynthesisResult, compile_spec
 from ..synth.library import Library
 from ..synth.netlist import MappedNetlist
 
@@ -31,13 +40,11 @@ __all__ = [
     "POLICIES",
     "FlowResult",
     "apply_policy",
+    "flow_result",
     "run_flow",
     "relative_metrics",
     "sampled_error_rate",
 ]
-
-POLICIES = ("conventional", "ranking", "cfactor", "complete")
-"""The four assignment policies of the evaluation."""
 
 
 @dataclass(frozen=True)
@@ -66,30 +73,36 @@ class FlowResult:
     error_rate: float
 
 
-def apply_policy(
-    spec: FunctionSpec,
-    policy: str,
-    *,
-    fraction: float = 1.0,
-    threshold: float = DEFAULT_THRESHOLD,
-) -> tuple[FunctionSpec, Assignment]:
-    """Produce the (partially) assigned spec for a policy.
+def flow_result(ctx: FlowContext) -> FlowResult:
+    """Package a completed default-flow context as a :class:`FlowResult`.
 
     Raises:
-        ValueError: on unknown policy names.
+        KeyError: when the context is missing flow artefacts (i.e. the
+            ``assign`` ... ``measure`` stages have not all run).
     """
-    if policy == "conventional":
-        assignment = Assignment()
-    elif policy == "ranking":
-        assignment = ranking_assignment(spec, fraction)
+    spec = ctx.require("spec")
+    assignment = ctx.require("assignment")
+    synthesis = ctx.require("synthesis")
+    policy = ctx.param("policy", "conventional")
+    if policy == "ranking":
+        parameter = ctx.param("fraction", 1.0)
     elif policy == "cfactor":
-        assignment = cfactor_assignment(spec, threshold)
-    elif policy == "complete":
-        assignment = complete_assignment(spec)
+        parameter = ctx.param("threshold", DEFAULT_THRESHOLD)
     else:
-        raise ValueError(f"unknown policy {policy!r}; choose from {POLICIES}")
-    assigned = assignment.apply(spec) if len(assignment) else spec
-    return assigned, assignment
+        parameter = 0.0
+    return FlowResult(
+        benchmark=spec.name,
+        policy=policy,
+        parameter=parameter,
+        objective=ctx.param("objective", "delay"),
+        fraction_assigned=assignment.fraction_of(spec),
+        area=synthesis.area,
+        delay=synthesis.delay,
+        power=synthesis.power,
+        gates=synthesis.num_gates,
+        literals=synthesis.literals,
+        error_rate=synthesis.error_rate,
+    )
 
 
 def run_flow(
@@ -100,38 +113,36 @@ def run_flow(
     threshold: float = DEFAULT_THRESHOLD,
     objective: str = "delay",
     library: Library | None = None,
+    checkpoint: CheckpointStore | None = None,
+    checkpoint_dir: str | os.PathLike | None = None,
 ) -> FlowResult:
-    """Apply a policy and synthesise, returning all measurements."""
+    """Apply a policy and synthesise, returning all measurements.
+
+    A thin driver over the default six-stage pipeline.  With
+    ``checkpoint`` / ``checkpoint_dir`` set, per-stage outputs are
+    persisted content-addressed, so repeated or interrupted runs skip
+    every stage whose inputs and parameters are unchanged.
+    """
     obs_metrics.counter("flow.runs").inc()
+    if checkpoint is None and checkpoint_dir is not None:
+        checkpoint = CheckpointStore(checkpoint_dir)
+    pipe = Pipeline(
+        DEFAULT_STAGES,
+        name="flow",
+        params={
+            "policy": policy,
+            "fraction": fraction,
+            "threshold": threshold,
+            "objective": objective,
+            "library": library,
+        },
+        checkpoint=checkpoint,
+    )
     with span(
         "flow.run", benchmark=spec.name, policy=policy, objective=objective
     ):
-        with span("flow.apply_policy", policy=policy):
-            assigned, assignment = apply_policy(
-                spec, policy, fraction=fraction, threshold=threshold
-            )
-        result: SynthesisResult = compile_spec(
-            assigned, objective=objective, library=library, source_spec=spec
-        )
-    if policy == "ranking":
-        parameter = fraction
-    elif policy == "cfactor":
-        parameter = threshold
-    else:
-        parameter = 0.0
-    return FlowResult(
-        benchmark=spec.name,
-        policy=policy,
-        parameter=parameter,
-        objective=objective,
-        fraction_assigned=assignment.fraction_of(spec),
-        area=result.area,
-        delay=result.delay,
-        power=result.power,
-        gates=result.num_gates,
-        literals=result.literals,
-        error_rate=result.error_rate,
-    )
+        ctx = pipe.run(spec=spec)
+    return flow_result(ctx)
 
 
 def relative_metrics(result: FlowResult, baseline: FlowResult) -> dict[str, float]:

@@ -11,13 +11,22 @@ Each function here regenerates the data behind one artefact:
 Parallel execution
 ------------------
 
-Every sweep point is an independent ``run_flow`` call, so the sweep
+Every sweep point is an independent ``run_flow`` call — itself a thin
+driver over the stage graph of :mod:`repro.pipeline` — so the sweep
 drivers accept a ``jobs`` argument and fan the points out over a
 :class:`~concurrent.futures.ProcessPoolExecutor` (see
 :func:`parallel_map`).  Results always come back in input order, so a
 parallel sweep is bit-identical to the serial one.  ``jobs <= 1`` runs
 in-process, which additionally shares the minimisation cache of
 :mod:`repro.perf` across points.
+
+Checkpointed sweeps: pass ``checkpoint_dir`` and every point persists
+its per-stage outputs content-addressed (see
+:mod:`repro.pipeline.checkpoint`).  An interrupted sweep — or a
+re-parameterised one whose early stages are unaffected by the changed
+knob — resumes from the last valid stage output of each point instead
+of recomputing whole flows.  Worker processes share the directory
+safely: keys are content digests and writes are atomic.
 
 Observability: each worker task measures its own tracing spans and
 metrics delta and ships them back with the result; the parent merges
@@ -210,10 +219,12 @@ def fraction_sweep(
     objective: str = "delay",
     jobs: int = 1,
     progress: ProgressCallback | None = None,
+    checkpoint_dir: str | None = None,
 ) -> list[FlowResult]:
     """Ranking-based results across assignment fractions (Figs. 4-5)."""
+    extra = {} if checkpoint_dir is None else {"checkpoint_dir": checkpoint_dir}
     tasks = [
-        (spec, "ranking", {"fraction": fraction, "objective": objective})
+        (spec, "ranking", {"fraction": fraction, "objective": objective, **extra})
         for fraction in fractions
     ]
     with span(
@@ -223,15 +234,16 @@ def fraction_sweep(
 
 
 def _family_member_task(
-    task: tuple[FunctionSpec, tuple[float, ...], str],
+    task: tuple[FunctionSpec, tuple[float, ...], str, str | None],
 ) -> list[tuple[float, float, float]] | None:
     """One family member's full trajectory: ``(fraction, area, error)``.
 
     Returns None for degenerate (wire-only) members, whose baseline has
     zero area and therefore no overhead signal.
     """
-    spec, fractions, objective = task
-    baseline = run_flow(spec, "ranking", fraction=0.0, objective=objective)
+    spec, fractions, objective, checkpoint_dir = task
+    extra = {} if checkpoint_dir is None else {"checkpoint_dir": checkpoint_dir}
+    baseline = run_flow(spec, "ranking", fraction=0.0, objective=objective, **extra)
     if baseline.area == 0:
         return None
     points: list[tuple[float, float, float]] = []
@@ -239,7 +251,9 @@ def _family_member_task(
         if fraction == 0.0:
             result = baseline
         else:
-            result = run_flow(spec, "ranking", fraction=fraction, objective=objective)
+            result = run_flow(
+                spec, "ranking", fraction=fraction, objective=objective, **extra
+            )
         rel = relative_metrics(result, baseline)
         points.append((fraction, rel["area"], rel["error_rate"]))
     return points
@@ -257,6 +271,7 @@ def family_tradeoff(
     seed: int = 0,
     jobs: int = 1,
     progress: ProgressCallback | None = None,
+    checkpoint_dir: str | None = None,
 ) -> dict[float, list[dict[str, float]]]:
     """Fig. 6: normalised (area, error rate) trajectories per C^f family.
 
@@ -290,7 +305,7 @@ def family_tradeoff(
     with span("sweep.family", members=len(members), jobs=jobs):
         trajectories_raw = parallel_map(
             _family_member_task,
-            [(spec, fractions, objective) for _, spec in members],
+            [(spec, fractions, objective, checkpoint_dir) for _, spec in members],
             jobs,
             progress=progress,
         )
@@ -336,6 +351,7 @@ def table2_row(
     *,
     threshold: float = DEFAULT_THRESHOLD,
     objective: str = "area",
+    checkpoint_dir: str | None = None,
 ) -> Table2Row:
     """Table 2: LC^f-based vs equal-fraction ranking vs complete.
 
@@ -344,12 +360,17 @@ def table2_row(
     """
     from ..core.complexity import spec_complexity_factor
 
-    baseline = run_flow(spec, "conventional", objective=objective)
+    extra = {} if checkpoint_dir is None else {"checkpoint_dir": checkpoint_dir}
+    baseline = run_flow(spec, "conventional", objective=objective, **extra)
     lcf_assignment = cfactor_assignment(spec, threshold)
     lcf_fraction = min(1.0, lcf_assignment.fraction_of(spec))
-    lcf = run_flow(spec, "cfactor", threshold=threshold, objective=objective)
-    ranking = run_flow(spec, "ranking", fraction=lcf_fraction, objective=objective)
-    complete = run_flow(spec, "complete", objective=objective)
+    lcf = run_flow(
+        spec, "cfactor", threshold=threshold, objective=objective, **extra
+    )
+    ranking = run_flow(
+        spec, "ranking", fraction=lcf_fraction, objective=objective, **extra
+    )
+    complete = run_flow(spec, "complete", objective=objective, **extra)
     rel_lcf = relative_metrics(lcf, baseline)
     rel_rank = relative_metrics(ranking, baseline)
     rel_complete = relative_metrics(complete, baseline)
@@ -385,15 +406,19 @@ def table3_row(
     *,
     threshold: float = DEFAULT_THRESHOLD,
     objective: str = "area",
+    checkpoint_dir: str | None = None,
 ) -> Table3Row:
     """Table 3: estimate bands plus conventional and LC^f achieved rates.
 
     The "% Diff." columns report how far above the exact minimum each
     implementation's rate lands, as in the paper.
     """
+    extra = {} if checkpoint_dir is None else {"checkpoint_dir": checkpoint_dir}
     exact = exact_error_bounds(spec)
-    conventional = run_flow(spec, "conventional", objective=objective)
-    lcf = run_flow(spec, "cfactor", threshold=threshold, objective=objective)
+    conventional = run_flow(spec, "conventional", objective=objective, **extra)
+    lcf = run_flow(
+        spec, "cfactor", threshold=threshold, objective=objective, **extra
+    )
 
     def diff_pct(rate: float) -> float:
         return 100.0 * (rate - exact.lo) / exact.lo if exact.lo else 0.0
@@ -418,10 +443,12 @@ def threshold_sweep(
     objective: str = "area",
     jobs: int = 1,
     progress: ProgressCallback | None = None,
+    checkpoint_dir: str | None = None,
 ) -> list[FlowResult]:
     """LC^f-threshold ablation: results across the threshold knob."""
+    extra = {} if checkpoint_dir is None else {"checkpoint_dir": checkpoint_dir}
     tasks = [
-        (spec, "cfactor", {"threshold": threshold, "objective": objective})
+        (spec, "cfactor", {"threshold": threshold, "objective": objective, **extra})
         for threshold in thresholds
     ]
     with span(

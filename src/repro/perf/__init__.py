@@ -12,9 +12,11 @@ from .cache import (
     cache_stats,
     configure_cache,
     cover_key,
+    digest_parts,
     global_cache,
     reset_cache,
     spec_key,
+    stage_key,
 )
 
 __all__ = [
@@ -23,7 +25,9 @@ __all__ = [
     "cache_stats",
     "configure_cache",
     "cover_key",
+    "digest_parts",
     "global_cache",
     "reset_cache",
     "spec_key",
+    "stage_key",
 ]

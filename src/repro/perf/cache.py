@@ -52,9 +52,11 @@ __all__ = [
     "cache_stats",
     "configure_cache",
     "cover_key",
+    "digest_parts",
     "global_cache",
     "reset_cache",
     "spec_key",
+    "stage_key",
 ]
 
 _OPTIONS_VERSION = b"espresso-v1"
@@ -67,6 +69,46 @@ def _digest(*parts: bytes) -> str:
         hasher.update(part)
         hasher.update(b"\x00")
     return hasher.hexdigest()
+
+
+def digest_parts(*parts: bytes) -> str:
+    """Content digest of a sequence of byte strings.
+
+    The shared digest primitive behind every content-addressed key in
+    this package — cover/spec memo keys here and the pipeline stage
+    checkpoints of :mod:`repro.pipeline.checkpoint`.
+    """
+    return _digest(*parts)
+
+
+_STAGE_VERSION = b"stage-v1"
+"""Bump when checkpoint payload semantics change, invalidating old keys."""
+
+
+def stage_key(
+    stage_name: str,
+    stage_version: str,
+    params_fingerprint: str,
+    upstream_key: str,
+) -> str:
+    """Content key of one pipeline stage execution.
+
+    Keys chain: ``upstream_key`` is the previous stage's key (or the
+    initial context fingerprint), so a stage's key commits to the whole
+    producing history — its own identity and parameters plus, by
+    induction, every upstream stage and the input artefacts.  Change
+    anything upstream and every downstream key changes with it, which is
+    what lets a re-parameterised run resume from the last stage whose
+    inputs are genuinely unchanged.
+    """
+    return _digest(
+        _STAGE_VERSION,
+        b"stage",
+        stage_name.encode(),
+        stage_version.encode(),
+        params_fingerprint.encode(),
+        upstream_key.encode(),
+    )
 
 
 def cover_key(on_cubes: np.ndarray, dc_cubes: np.ndarray, num_inputs: int) -> str:

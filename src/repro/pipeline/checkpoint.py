@@ -1,0 +1,110 @@
+"""Content-addressed stage checkpoints on disk.
+
+A :class:`CheckpointStore` persists the output artefacts of each pipeline
+stage under a key derived through :func:`repro.perf.cache.stage_key`: the
+digest chains over the initial context fingerprint, every upstream
+stage's identity/version and the parameter values each stage depends on.
+A resumed run therefore loads exactly the stages whose entire producing
+history is unchanged and recomputes from the first divergence — whether
+the previous run was interrupted (Ctrl-C, ``kill -9``, an exception) or
+re-parameterised (e.g. a new ``objective`` reuses the ``assign`` and
+``espresso`` outputs, which don't depend on it).
+
+Entries are pickle files named ``<stage>-<key>.ckpt``.  Writes go
+through a temporary file plus :func:`os.replace`, so a process killed
+mid-write never leaves a loadable-but-corrupt entry; unreadable entries
+are treated as misses and deleted.  Hit/miss/store traffic is exported
+to the metrics registry under ``cache.checkpoint_*`` alongside the
+minimisation cache's ``cache.*`` counters.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from pathlib import Path
+from typing import Any
+
+from ..obs import metrics as obs_metrics
+
+__all__ = ["CheckpointStore"]
+
+_SUFFIX = ".ckpt"
+
+
+class CheckpointStore:
+    """Pickle-backed store of stage outputs, keyed by content digest.
+
+    Args:
+        directory: where entries live; created if missing.  Multiple
+            processes may share a directory — keys are content-addressed
+            and writes are atomic, so concurrent writers at worst store
+            the same bytes twice.
+    """
+
+    def __init__(self, directory: str | os.PathLike):
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, stage_name: str, key: str) -> Path:
+        return self.directory / f"{stage_name}-{key}{_SUFFIX}"
+
+    def load(self, stage_name: str, key: str) -> dict[str, Any] | None:
+        """The stored output artefacts for *key*, or None on a miss.
+
+        Corrupt or truncated entries (e.g. from a version skew) count as
+        misses and are removed so the slot is rewritten cleanly.
+        """
+        path = self._path(stage_name, key)
+        try:
+            with open(path, "rb") as handle:
+                payload = pickle.load(handle)
+        except FileNotFoundError:
+            obs_metrics.counter("cache.checkpoint_misses").inc()
+            return None
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
+                ImportError, IndexError):
+            obs_metrics.counter("cache.checkpoint_misses").inc()
+            obs_metrics.counter("cache.checkpoint_corrupt").inc()
+            path.unlink(missing_ok=True)
+            return None
+        if payload.get("key") != key or payload.get("stage") != stage_name:
+            obs_metrics.counter("cache.checkpoint_misses").inc()
+            obs_metrics.counter("cache.checkpoint_corrupt").inc()
+            path.unlink(missing_ok=True)
+            return None
+        obs_metrics.counter("cache.checkpoint_hits").inc()
+        return payload["outputs"]
+
+    def store(self, stage_name: str, key: str, outputs: dict[str, Any]) -> Path:
+        """Persist *outputs* (serialised immediately) under *key*.
+
+        Serialising at store time matters: later stages may mutate the
+        same artefact objects in place (``optimize`` rewrites the
+        network), and the checkpoint must capture this stage's view.
+        """
+        payload = pickle.dumps(
+            {"stage": stage_name, "key": key, "outputs": outputs}, protocol=4
+        )
+        path = self._path(stage_name, key)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        try:
+            with open(tmp, "wb") as handle:
+                handle.write(payload)
+            os.replace(tmp, path)
+        finally:
+            tmp.unlink(missing_ok=True)
+        obs_metrics.counter("cache.checkpoint_stores").inc()
+        return path
+
+    def __len__(self) -> int:
+        return len(list(self.directory.glob(f"*{_SUFFIX}")))
+
+    def entries(self) -> list[str]:
+        """Stored entry file names (sorted), for inspection and tests."""
+        return sorted(p.name for p in self.directory.glob(f"*{_SUFFIX}"))
+
+    def clear(self) -> None:
+        """Delete every stored entry."""
+        for path in self.directory.glob(f"*{_SUFFIX}"):
+            path.unlink(missing_ok=True)

@@ -1,0 +1,134 @@
+"""The ``Stage`` protocol and the process-wide stage registry.
+
+A *stage* is one composable unit of the synthesis flow: it names the
+context keys it consumes (``inputs``) and produces (``outputs``), the
+flow parameters that change its behaviour (``params``, which feed the
+checkpoint key), and does its work in ``run(ctx)`` against a
+:class:`~repro.pipeline.context.FlowContext`.
+
+Stages register themselves under their name with :func:`register_stage`
+so declarative pipeline configs — and ``repro pipeline run`` — can refer
+to them by string.  ``repro info --json`` and ``repro pipeline stages``
+list the registry for tooling.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Protocol, TypeVar, runtime_checkable
+
+from ..perf.cache import digest_parts
+from .context import FlowContext
+
+__all__ = [
+    "Stage",
+    "get_stage",
+    "params_fingerprint",
+    "register_stage",
+    "registered_stages",
+    "stage_names",
+]
+
+
+@runtime_checkable
+class Stage(Protocol):
+    """What a pipeline stage must provide.
+
+    Attributes:
+        name: registry name (``assign``, ``espresso``, ...).
+        inputs: context keys the stage reads; the pipeline verifies each
+            is produced by an earlier stage or present initially.
+        outputs: context keys the stage writes; exactly these are saved
+            to (and restored from) a checkpoint.
+        params: flow parameter names that affect the stage's output —
+            they are folded into its checkpoint key, so changing any of
+            them invalidates this stage's checkpoints but not those of
+            stages that ignore the parameter.
+        version: bumped when the stage's semantics change, invalidating
+            old checkpoints.
+    """
+
+    name: str
+    inputs: tuple[str, ...]
+    outputs: tuple[str, ...]
+    params: tuple[str, ...]
+    version: str
+
+    def run(self, ctx: FlowContext) -> None:
+        """Execute the stage, reading and writing *ctx* artefacts."""
+        ...
+
+
+def params_fingerprint(stage: Stage, ctx: FlowContext) -> str:
+    """Digest of the parameter values *stage* depends on.
+
+    Values are rendered through :func:`_param_repr`, which special-cases
+    the ``library`` object so two runs against the same cell library
+    share checkpoints regardless of object identity.
+    """
+    parts: list[bytes] = []
+    for name in stage.params:
+        parts.append(name.encode())
+        parts.append(_param_repr(name, ctx.param(name)).encode())
+    return digest_parts(b"params", *parts)
+
+
+def _param_repr(name: str, value: Any) -> str:
+    if name == "library":
+        if value is None:
+            return "library:default"
+        cells = ",".join(
+            f"{c.name}:{c.area}:{c.pin_cap}:{c.resistance}:{c.intrinsic}:{c.leakage}"
+            for c in value.cells
+        )
+        return (
+            f"library:{cells};wire_cap={value.wire_cap};"
+            f"input_drive={value.input_drive};output_cap={value.output_cap}"
+        )
+    return repr(value)
+
+
+_REGISTRY: dict[str, Stage] = {}
+
+_S = TypeVar("_S")
+
+
+def register_stage(cls: type[_S]) -> type[_S]:
+    """Class decorator: instantiate and register a stage under its name.
+
+    Raises:
+        ValueError: if the name is already taken by a different class —
+            duplicate registration is almost always an import mistake.
+    """
+    stage = cls()
+    existing = _REGISTRY.get(stage.name)
+    if existing is not None and type(existing) is not cls:
+        raise ValueError(
+            f"stage name {stage.name!r} already registered by "
+            f"{type(existing).__name__}"
+        )
+    _REGISTRY[stage.name] = stage
+    return cls
+
+
+def get_stage(name: str) -> Stage:
+    """The registered stage called *name*.
+
+    Raises:
+        KeyError: for unknown names, listing the registry.
+    """
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown stage {name!r}; registered stages: {stage_names()}"
+        ) from None
+
+
+def registered_stages() -> dict[str, Stage]:
+    """Name-to-stage view of the registry (insertion order)."""
+    return dict(_REGISTRY)
+
+
+def stage_names() -> list[str]:
+    """Registered stage names, in registration order."""
+    return list(_REGISTRY)

@@ -1,0 +1,269 @@
+"""The built-in stages of the paper's evaluation flow.
+
+Six stages reproduce the fixed recipe that used to be hard-coded across
+``flows/experiment.py`` and ``synth/compile_.py``:
+
+``assign``
+    Apply a DC-assignment policy (``conventional`` / ``ranking`` /
+    ``cfactor`` / ``complete``) to the source spec.
+``espresso``
+    Two-level minimisation of the assigned spec (the conventional
+    assignment of any remaining DCs) and construction of the
+    multi-level logic network from the covers.
+``optimize``
+    Technology-independent multi-level optimisation (disable with the
+    ``optimize=False`` flow parameter).
+``map``
+    Subject-graph construction and area-driven tree covering against
+    the cell library.
+``tune``
+    Objective-specific tuning: critical-path upsizing for the ``delay``
+    objective (no-op for ``power`` / ``area``).
+``measure``
+    Care-set equivalence self-check, static timing, power analysis and
+    the exact input-error rate against the *source* spec's care set,
+    packaged as a :class:`~repro.synth.compile_.SynthesisResult`.
+
+The stage bodies are the canonical implementation: ``run_flow``,
+``compile_spec`` and ``compile_network`` are thin drivers that assemble
+these stages into a pipeline (see :mod:`repro.pipeline.pipeline`).
+"""
+
+from __future__ import annotations
+
+from ..core.assignment import Assignment
+from ..core.cfactor import DEFAULT_THRESHOLD, cfactor_assignment
+from ..core.ranking import complete_assignment, ranking_assignment
+from ..core.reliability import error_rate
+from ..core.spec import FunctionSpec
+from ..espresso.minimize import minimize_spec
+from ..obs import metrics as obs_metrics
+from ..obs import span
+from ..synth.library import generic_70nm_library
+from ..synth.mapping import map_graph
+from ..synth.network import LogicNetwork
+from ..synth.optimize import optimize_network
+from ..synth.power import power_analysis
+from ..synth.subject import build_subject_graph
+from ..synth.timing import static_timing, upsize_critical
+from .context import FlowContext
+from .stage import register_stage
+
+__all__ = [
+    "OBJECTIVES",
+    "POLICIES",
+    "AssignStage",
+    "EspressoStage",
+    "OptimizeStage",
+    "MapStage",
+    "TuneStage",
+    "MeasureStage",
+    "apply_policy",
+    "validate_objective",
+]
+
+POLICIES = ("conventional", "ranking", "cfactor", "complete")
+"""The four assignment policies of the evaluation."""
+
+OBJECTIVES = ("delay", "power", "area")
+"""The synthesis objectives mirroring the paper's compile scripts."""
+
+
+def apply_policy(
+    spec: FunctionSpec,
+    policy: str,
+    *,
+    fraction: float = 1.0,
+    threshold: float = DEFAULT_THRESHOLD,
+) -> tuple[FunctionSpec, Assignment]:
+    """Produce the (partially) assigned spec for a policy.
+
+    Raises:
+        ValueError: on unknown policy names.
+    """
+    if policy == "conventional":
+        assignment = Assignment()
+    elif policy == "ranking":
+        assignment = ranking_assignment(spec, fraction)
+    elif policy == "cfactor":
+        assignment = cfactor_assignment(spec, threshold)
+    elif policy == "complete":
+        assignment = complete_assignment(spec)
+    else:
+        raise ValueError(f"unknown policy {policy!r}; choose from {POLICIES}")
+    assigned = assignment.apply(spec) if len(assignment) else spec
+    return assigned, assignment
+
+
+def validate_objective(objective: str) -> None:
+    """Reject unknown synthesis objectives.
+
+    Raises:
+        ValueError: when *objective* is not one of :data:`OBJECTIVES`.
+    """
+    if objective not in OBJECTIVES:
+        raise ValueError(
+            f"objective must be one of {OBJECTIVES}, got {objective!r}"
+        )
+
+
+@register_stage
+class AssignStage:
+    """``spec`` -> ``assigned_spec`` + ``assignment`` via the policy."""
+
+    name = "assign"
+    inputs = ("spec",)
+    outputs = ("assigned_spec", "assignment")
+    params = ("policy", "fraction", "threshold")
+    version = "1"
+
+    def run(self, ctx: FlowContext) -> None:
+        spec = ctx.require("spec")
+        policy = ctx.param("policy", "conventional")
+        with span("flow.apply_policy", policy=policy):
+            assigned, assignment = apply_policy(
+                spec,
+                policy,
+                fraction=ctx.param("fraction", 1.0),
+                threshold=ctx.param("threshold", DEFAULT_THRESHOLD),
+            )
+        ctx.set("assigned_spec", assigned)
+        ctx.set("assignment", assignment)
+
+
+@register_stage
+class EspressoStage:
+    """``assigned_spec`` -> ``covers`` + ``network`` (two-level minimise)."""
+
+    name = "espresso"
+    inputs = ("assigned_spec",)
+    outputs = ("covers", "network")
+    params = ()
+    version = "1"
+
+    def run(self, ctx: FlowContext) -> None:
+        assigned = ctx.require("assigned_spec")
+        with span("synth.minimize"):
+            minimized = minimize_spec(assigned)
+        network = LogicNetwork.from_covers(
+            list(assigned.input_names),
+            minimized.covers,
+            list(assigned.output_names),
+        )
+        ctx.set("covers", minimized)
+        ctx.set("network", network)
+
+
+@register_stage
+class OptimizeStage:
+    """Multi-level optimisation of ``network`` (in place)."""
+
+    name = "optimize"
+    inputs = ("network",)
+    outputs = ("network",)
+    params = ("optimize",)
+    version = "1"
+
+    def run(self, ctx: FlowContext) -> None:
+        network = ctx.require("network")
+        if ctx.param("optimize", True):
+            with span("synth.optimize", nodes=len(network.nodes)):
+                optimize_network(network)
+        ctx.set("network", network)
+
+
+@register_stage
+class MapStage:
+    """``network`` -> ``netlist`` via area-driven tree covering.
+
+    Area-driven covering for every objective: a constant-load delay DP
+    picks oversized cells whose pin capacitance slows the whole netlist
+    down (measured), so the delay objective instead sizes the critical
+    path of an area-optimal covering — the standard industrial recipe
+    (see :class:`TuneStage`).
+    """
+
+    name = "map"
+    inputs = ("network",)
+    outputs = ("netlist",)
+    params = ("library",)
+    version = "1"
+
+    def run(self, ctx: FlowContext) -> None:
+        network = ctx.require("network")
+        library = ctx.param("library") or generic_70nm_library()
+        with span("synth.subject_graph"):
+            graph = build_subject_graph(network)
+        with span("synth.map"):
+            netlist = map_graph(graph, library, mode="area")
+        ctx.set("netlist", netlist)
+
+
+@register_stage
+class TuneStage:
+    """Objective tuning: upsize the critical path for ``delay``."""
+
+    name = "tune"
+    inputs = ("netlist",)
+    outputs = ("netlist",)
+    params = ("objective",)
+    version = "1"
+
+    def run(self, ctx: FlowContext) -> None:
+        netlist = ctx.require("netlist")
+        objective = ctx.param("objective", "delay")
+        validate_objective(objective)
+        if objective == "delay":
+            with span("synth.upsize_critical"):
+                upsize_critical(netlist, max_rounds=25)
+        ctx.set("netlist", netlist)
+
+
+@register_stage
+class MeasureStage:
+    """Self-check and measure ``netlist``, producing ``synthesis``.
+
+    The equivalence self-check compares against the *assigned* spec (the
+    function the netlist was synthesised from); the error rate draws its
+    error sources from the care set of the *source* spec, exactly as the
+    paper measures reliability-driven partial assignments.
+    """
+
+    name = "measure"
+    inputs = ("netlist", "network", "assigned_spec", "spec")
+    outputs = ("implemented", "synthesis")
+    params = ()
+    version = "1"
+
+    def run(self, ctx: FlowContext) -> None:
+        from ..synth.compile_ import SynthesisResult
+
+        netlist = ctx.require("netlist")
+        network = ctx.require("network")
+        assigned = ctx.require("assigned_spec")
+        source = ctx.get("spec", assigned)
+        with span("synth.selfcheck"):
+            implemented = netlist.to_spec(name=f"{assigned.name}/impl")
+            if not assigned.equivalent_within_dc(implemented):
+                raise ValueError(
+                    f"synthesis self-check failed: netlist does not "
+                    f"implement {assigned.name}"
+                )
+        with span("synth.timing"):
+            timing = static_timing(netlist)
+        with span("synth.power"):
+            power = power_analysis(netlist)
+        obs_metrics.counter("synth.networks_compiled").inc()
+        obs_metrics.counter("synth.gates_mapped").inc(netlist.num_gates)
+        synthesis = SynthesisResult(
+            netlist=netlist,
+            area=netlist.area,
+            delay=timing.delay,
+            power=power.total,
+            num_gates=netlist.num_gates,
+            literals=network.num_literals,
+            error_rate=error_rate(implemented, spec=source),
+            implemented=implemented,
+        )
+        ctx.set("implemented", implemented)
+        ctx.set("synthesis", synthesis)

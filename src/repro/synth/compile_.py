@@ -15,25 +15,23 @@ the paper's scripts:
 Every compile ends with an equivalence self-check of the mapped netlist
 against the input spec's care set, so a miscompare anywhere in the stack
 fails loudly instead of skewing experiment data.
+
+Since the stage-graph refactor both entry points are thin drivers over
+:mod:`repro.pipeline`: ``compile_spec`` assembles the ``espresso`` →
+``optimize`` → ``map`` → ``tune`` → ``measure`` stages and
+``compile_network`` the suffix starting at ``optimize`` — the stage
+bodies in :mod:`repro.pipeline.stages` are the canonical implementation.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..core.reliability import error_rate
 from ..core.spec import FunctionSpec
-from ..espresso.minimize import minimize_spec
-from ..obs import metrics as obs_metrics
 from ..obs import span
-from .library import Library, generic_70nm_library
-from .mapping import map_graph
+from .library import Library
 from .netlist import MappedNetlist
 from .network import LogicNetwork
-from .optimize import optimize_network
-from .power import power_analysis
-from .subject import build_subject_graph
-from .timing import static_timing, upsize_critical
 
 __all__ = ["SynthesisResult", "compile_spec", "compile_network"]
 
@@ -76,49 +74,23 @@ def compile_network(
 ) -> SynthesisResult:
     """Optimise, map and measure an existing network against *spec*.
 
+    A thin driver over the ``optimize`` → ``map`` → ``tune`` →
+    ``measure`` stage suffix.
+
     Raises:
         ValueError: on unknown objectives or if the mapped netlist fails
             the care-set equivalence self-check.
     """
-    if objective not in _OBJECTIVES:
-        raise ValueError(f"objective must be one of {_OBJECTIVES}, got {objective!r}")
-    library = library or generic_70nm_library()
-    if optimize:
-        with span("synth.optimize", nodes=len(network.nodes)):
-            optimize_network(network)
-    with span("synth.subject_graph"):
-        graph = build_subject_graph(network)
-    # Area-driven covering for every objective: a constant-load delay DP
-    # picks oversized cells whose pin capacitance slows the whole netlist
-    # down (measured), so the delay objective instead sizes the critical
-    # path of an area-optimal covering — the standard industrial recipe.
-    with span("synth.map"):
-        netlist = map_graph(graph, library, mode="area")
-    if objective == "delay":
-        with span("synth.upsize_critical"):
-            upsize_critical(netlist, max_rounds=25)
-    with span("synth.selfcheck"):
-        implemented = netlist.to_spec(name=f"{spec.name}/impl")
-        if not spec.equivalent_within_dc(implemented):
-            raise ValueError(
-                f"synthesis self-check failed: netlist does not implement {spec.name}"
-            )
-    with span("synth.timing"):
-        timing = static_timing(netlist)
-    with span("synth.power"):
-        power = power_analysis(netlist)
-    obs_metrics.counter("synth.networks_compiled").inc()
-    obs_metrics.counter("synth.gates_mapped").inc(netlist.num_gates)
-    return SynthesisResult(
-        netlist=netlist,
-        area=netlist.area,
-        delay=timing.delay,
-        power=power.total,
-        num_gates=netlist.num_gates,
-        literals=network.num_literals,
-        error_rate=error_rate(implemented, spec=spec),
-        implemented=implemented,
+    from ..pipeline import Pipeline, validate_objective
+
+    validate_objective(objective)
+    pipe = Pipeline(
+        ["optimize", "map", "tune", "measure"],
+        name="compile-network",
+        params={"objective": objective, "library": library, "optimize": optimize},
     )
+    ctx = pipe.run(spec=spec, assigned_spec=spec, network=network)
+    return ctx.require("synthesis")
 
 
 def compile_spec(
@@ -136,25 +108,15 @@ def compile_spec(
     ``source_spec`` so the error rate uses the original care set as its
     error-source distribution.
     """
+    from ..pipeline import Pipeline, validate_objective
+
     source = source_spec or spec
     with span("synth.compile", name=spec.name, objective=objective):
-        with span("synth.minimize"):
-            minimized = minimize_spec(spec)
-        network = LogicNetwork.from_covers(
-            list(spec.input_names), minimized.covers, list(spec.output_names)
+        validate_objective(objective)
+        pipe = Pipeline(
+            ["espresso", "optimize", "map", "tune", "measure"],
+            name="compile-spec",
+            params={"objective": objective, "library": library},
         )
-        result = compile_network(
-            network, spec, objective=objective, library=library
-        )
-    if source is not spec:
-        result = SynthesisResult(
-            netlist=result.netlist,
-            area=result.area,
-            delay=result.delay,
-            power=result.power,
-            num_gates=result.num_gates,
-            literals=result.literals,
-            error_rate=error_rate(result.implemented, spec=source),
-            implemented=result.implemented,
-        )
-    return result
+        ctx = pipe.run(spec=source, assigned_spec=spec)
+        return ctx.require("synthesis")

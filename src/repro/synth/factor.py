@@ -17,6 +17,7 @@ from .kernels import (
     CubeSet,
     algebraic_divide,
     common_cube,
+    cube_set_key,
     cube_set_literals,
     kernels,
 )
@@ -98,7 +99,9 @@ def _best_divisor(expr: CubeSet) -> CubeSet | None:
     candidates = kernels(expr, include_self=False)
     best: CubeSet | None = None
     best_value = 0
-    for kernel in candidates:
+    # Canonical iteration order: score ties must not fall back to set
+    # iteration order, or factoring depends on PYTHONHASHSEED.
+    for kernel in sorted(candidates, key=cube_set_key):
         value = (len(kernel) - 1) * (cube_set_literals(kernel) - 1)
         if value > best_value:
             best, best_value = kernel, value

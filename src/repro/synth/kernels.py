@@ -23,6 +23,8 @@ __all__ = [
     "common_cube",
     "make_cube_free",
     "kernels",
+    "cube_key",
+    "cube_set_key",
     "cube_set_literals",
 ]
 
@@ -72,6 +74,24 @@ def cubes_to_cover(cubes: CubeSet, fanins: list[str]) -> Cover:
 def cube_set_literals(cubes: CubeSet) -> int:
     """Total literal count of the expression."""
     return sum(len(cube) for cube in cubes)
+
+
+def cube_key(cube: frozenset) -> tuple:
+    """A canonical sort key for one cube."""
+    return tuple(sorted(cube))
+
+
+def cube_set_key(cubes: CubeSet) -> tuple:
+    """A canonical sort key for a cube set.
+
+    Divisor candidates live in hash-ordered sets; greedy selection loops
+    must break score ties with this key instead of set iteration order,
+    so the chosen divisors — and every synthesised netlist downstream —
+    are independent of ``PYTHONHASHSEED``.  Checkpoint resume and the
+    parallel sweep executor rely on this for bit-identical results
+    across processes.
+    """
+    return tuple(sorted(cube_key(cube) for cube in cubes))
 
 
 def algebraic_divide(expr: CubeSet, divisor: CubeSet) -> tuple[CubeSet, CubeSet]:

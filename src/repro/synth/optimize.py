@@ -16,6 +16,8 @@ from .kernels import (
     CubeSet,
     algebraic_divide,
     cover_to_cubes,
+    cube_key,
+    cube_set_key,
     cube_set_literals,
     cubes_to_cover,
     kernels,
@@ -80,10 +82,14 @@ def extract_kernels(network: LogicNetwork, *, max_extractions: int = 200) -> int
             break
         # Rank candidates by intrinsic value and only try the most promising
         # ones against every node (full cross-division is quadratic).
+        # Score ties are broken canonically (cube_set_key), not by set
+        # iteration order, so extraction is hash-seed independent.
         ranked = sorted(
             candidates,
-            key=lambda k: (len(k) - 1) * (cube_set_literals(k) - 1),
-            reverse=True,
+            key=lambda k: (
+                -(len(k) - 1) * (cube_set_literals(k) - 1),
+                cube_set_key(k),
+            ),
         )[:60]
         best_kernel: CubeSet | None = None
         best_value = 0
@@ -136,7 +142,9 @@ def extract_cubes(network: LogicNetwork, *, max_extractions: int = 200) -> int:
                         counts[other] += 1
         best_cube = None
         best_value = 0
-        for cube, occurrences in counts.items():
+        for cube, occurrences in sorted(
+            counts.items(), key=lambda item: (-item[1], cube_key(item[0]))
+        ):
             # Extracting a 2-literal cube saves one literal per occurrence
             # beyond the new node's own two literals.
             value = occurrences - 2

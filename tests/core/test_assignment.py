@@ -66,6 +66,37 @@ class TestMergeAndFraction:
         with pytest.raises(ValueError, match="conflicting"):
             a.merged(b)
 
+    def test_merged_conflict_names_location_and_values(self):
+        a = Assignment({(2, 7): ON})
+        b = Assignment({(2, 7): OFF})
+        with pytest.raises(
+            ValueError,
+            match=rf"output 2, minterm 7: already decided {ON}, now {OFF}",
+        ):
+            a.merged(b)
+
+    def test_merged_conflict_leaves_operands_untouched(self):
+        a = Assignment({(0, 3): ON, (0, 5): ON})
+        b = Assignment({(0, 3): OFF})
+        with pytest.raises(ValueError):
+            a.merged(b)
+        assert a.decisions == {(0, 3): ON, (0, 5): ON}
+        assert b.decisions == {(0, 3): OFF}
+
+    def test_merged_agreeing_overlap_is_fine(self):
+        a = Assignment({(0, 3): ON})
+        b = Assignment({(0, 3): ON, (1, 4): OFF})
+        merged = a.merged(b)
+        assert merged.decisions == {(0, 3): ON, (1, 4): OFF}
+
+    def test_set_conflict_names_previous_value(self):
+        a = Assignment()
+        a.set(1, 9, OFF)
+        with pytest.raises(
+            ValueError, match=rf"already decided {OFF}, now {ON}"
+        ):
+            a.set(1, 9, ON)
+
     def test_fraction_of(self, spec):
         a = Assignment({(0, 3): ON})
         assert a.fraction_of(spec) == pytest.approx(1 / 3)

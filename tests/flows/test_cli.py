@@ -144,6 +144,83 @@ class TestCliObservability:
         assert capsys.readouterr().err == ""
 
 
+class TestCliPipeline:
+    def test_stages_table(self, capsys):
+        assert main(["pipeline", "stages"]) == 0
+        out = capsys.readouterr().out
+        for name in ("assign", "espresso", "optimize", "map", "tune", "measure"):
+            assert name in out
+
+    def test_stages_json(self, capsys):
+        import json
+
+        assert main(["pipeline", "stages", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["assign"]["inputs"] == ["spec"]
+        assert payload["measure"]["outputs"] == ["implemented", "synthesis"]
+
+    def test_info_json_lists_stages(self, pla_file, capsys):
+        import json
+
+        assert main(["info", pla_file, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        for name in ("assign", "espresso", "measure"):
+            assert name in payload["pipeline_stages"]
+
+    def test_run_table(self, pla_file, capsys):
+        assert main(["pipeline", "run", pla_file, "--objective", "area"]) == 0
+        out = capsys.readouterr().out
+        assert "error rate" in out
+        assert "6 stage(s) run, 0 restored" in out
+
+    def test_run_checkpointed_twice(self, pla_file, tmp_path, capsys):
+        import json
+
+        ckpt = str(tmp_path / "ckpt")
+        argv = ["pipeline", "run", pla_file, "--objective", "area",
+                "--checkpoint-dir", ckpt, "--json"]
+        assert main(argv) == 0
+        first = json.loads(capsys.readouterr().out)
+        assert first["pipeline"]["stages_run"] == 6
+        assert first["pipeline"]["stages_skipped"] == 0
+        assert main(argv) == 0
+        second = json.loads(capsys.readouterr().out)
+        assert second["pipeline"]["stages_run"] == 0
+        assert second["pipeline"]["stages_skipped"] == 6
+        assert second["result"] == first["result"]
+
+    def test_run_stop_after(self, pla_file, capsys):
+        assert main(["pipeline", "run", pla_file, "--stop-after",
+                     "espresso"]) == 0
+        out = capsys.readouterr().out
+        assert "stopped with artefacts" in out
+        assert "network" in out
+
+    def test_run_config_file(self, pla_file, tmp_path, capsys):
+        import json
+
+        config = {
+            "name": "cli-config",
+            "params": {"policy": "complete", "objective": "area"},
+            "stages": ["assign", "espresso", "optimize", "map", "tune",
+                       "measure"],
+        }
+        path = tmp_path / "flow.json"
+        path.write_text(json.dumps(config))
+        assert main(["pipeline", "run", pla_file, "--config", str(path),
+                     "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["pipeline"]["name"] == "cli-config"
+        assert payload["result"]["policy"] == "complete"
+
+    def test_sweep_checkpoint_dir(self, pla_file, tmp_path, capsys):
+        ckpt = tmp_path / "ckpt"
+        assert main(["sweep", pla_file, "--points", "2", "--objective",
+                     "area", "--checkpoint-dir", str(ckpt)]) == 0
+        capsys.readouterr()
+        assert list(ckpt.glob("*.ckpt"))
+
+
 class TestCliExtensions:
     def test_nodal(self, pla_file, capsys):
         assert main(["nodal", pla_file, "--policy", "cfactor"]) == 0

@@ -9,6 +9,7 @@ from repro.flows.export import (
     export_all,
     export_fraction_sweep,
     export_table1,
+    export_table2,
     export_table3,
 )
 
@@ -31,6 +32,27 @@ class TestExport:
         rows = read_csv(path)
         assert len(rows) == 3  # header + 2 fractions
         assert float(rows[1][2]) == pytest.approx(1.0)  # fraction 0 baseline
+
+    def test_table2_roundtrip(self, tmp_path):
+        """The exported CSV carries exactly the table2_row measurements."""
+        from repro.benchgen import mcnc_benchmark
+        from repro.flows.sweep import table2_row
+
+        path = export_table2(tmp_path, ["bench"])
+        rows = read_csv(path)
+        assert rows[0] == [
+            "name", "cf", "lcf_area_pct", "lcf_error_pct",
+            "ranking_area_pct", "ranking_error_pct",
+            "complete_area_pct", "complete_error_pct",
+        ]
+        data = dict(zip(rows[0], rows[1]))
+        row = table2_row(mcnc_benchmark("bench"))
+        assert data["name"] == "bench"
+        assert float(data["cf"]) == pytest.approx(row.cf, abs=1e-4)
+        assert float(data["lcf_area_pct"]) == pytest.approx(row.lcf_area, abs=0.01)
+        assert float(data["complete_error_pct"]) == pytest.approx(
+            row.complete_error, abs=0.01
+        )
 
     def test_table3(self, tmp_path):
         path = export_table3(tmp_path, ["bench"])

@@ -1,0 +1,46 @@
+"""Tests for the plain-text table renderer behind benchmark/CLI reports."""
+
+from repro.flows.report import format_table
+
+
+class TestFormatTable:
+    def test_precision(self):
+        text = format_table(["k", "v"], [["pi", 3.14159]], precision=4)
+        assert "3.1416" in text
+        text = format_table(["k", "v"], [["pi", 3.14159]], precision=1)
+        assert "3.1" in text
+        assert "3.14" not in text
+
+    def test_non_float_values_via_str(self):
+        text = format_table(["k", "v"], [["count", 7], ["flag", True]])
+        assert "7" in text
+        assert "True" in text
+
+    def test_alignment(self):
+        text = format_table(["name", "value"], [["a", 1.0], ["long-name", 2.0]])
+        lines = text.splitlines()
+        # First column left-aligned: the short name is padded on the right.
+        assert lines[2].startswith("a ")
+        # Other columns right-aligned: values end each line flush.
+        assert lines[2].endswith("1.000")
+        assert lines[3].endswith("2.000")
+
+    def test_separator_matches_column_widths(self):
+        text = format_table(["name", "v"], [["alpha", 12.5]])
+        header, separator = text.splitlines()[:2]
+        assert len(separator) == len(header)
+        assert set(separator) == {"-", " "}
+
+    def test_wide_value_expands_column(self):
+        text = format_table(["v"], [[123456789.0]], precision=2)
+        header = text.splitlines()[0]
+        assert len(header) == len("123456789.00")
+
+    def test_empty_rows(self):
+        text = format_table(["a", "bb"], [])
+        lines = text.splitlines()
+        assert lines == ["a  bb", "-  --"]
+
+    def test_negative_floats(self):
+        text = format_table(["v"], [[-2.5]], precision=1)
+        assert "-2.5" in text

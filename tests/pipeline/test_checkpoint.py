@@ -1,0 +1,202 @@
+"""Tests for content-addressed stage checkpointing and resume."""
+
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.spec import FunctionSpec
+from repro.core.truthtable import DC, OFF, ON
+from repro.flows.experiment import run_flow
+from repro.flows.sweep import fraction_sweep
+from repro.obs import metrics as obs_metrics
+from repro.pipeline import CheckpointStore, Pipeline, default_config
+from repro.pipeline.pipeline import DEFAULT_STAGES
+
+
+@pytest.fixture(scope="module")
+def spec() -> FunctionSpec:
+    rng = np.random.default_rng(11)
+    phases = rng.choice(
+        np.array([OFF, ON, DC], dtype=np.uint8), size=(3, 128), p=[0.25, 0.25, 0.5]
+    )
+    return FunctionSpec(phases, name="ckpt")
+
+
+def counter(name: str) -> float:
+    return obs_metrics.counter(name).value
+
+
+class TestStore:
+    def test_roundtrip(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        path = store.store("demo", "abc123", {"x": [1, 2, 3]})
+        assert path.name == "demo-abc123.ckpt"
+        assert store.load("demo", "abc123") == {"x": [1, 2, 3]}
+        assert len(store) == 1
+        assert store.entries() == ["demo-abc123.ckpt"]
+
+    def test_miss(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        assert store.load("demo", "nope") is None
+
+    def test_truncated_entry_is_a_miss_and_removed(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        path = store.store("demo", "abc123", {"x": 1})
+        path.write_bytes(path.read_bytes()[:10])
+        corrupt_before = counter("cache.checkpoint_corrupt")
+        assert store.load("demo", "abc123") is None
+        assert counter("cache.checkpoint_corrupt") == corrupt_before + 1
+        assert not path.exists()
+
+    def test_key_mismatch_is_corrupt(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        path = store.store("demo", "key-a", {"x": 1})
+        os.rename(path, tmp_path / "demo-key-b.ckpt")
+        corrupt_before = counter("cache.checkpoint_corrupt")
+        assert store.load("demo", "key-b") is None
+        assert counter("cache.checkpoint_corrupt") == corrupt_before + 1
+
+    def test_clear(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.store("demo", "abc", {"x": 1})
+        store.clear()
+        assert len(store) == 0
+
+
+class TestResume:
+    def test_rerun_skips_every_stage_with_identical_result(self, spec, tmp_path):
+        run_before = counter("pipeline.stages_run")
+        first = run_flow(
+            spec, "ranking", fraction=0.5, objective="area",
+            checkpoint_dir=tmp_path,
+        )
+        assert counter("pipeline.stages_run") == run_before + len(DEFAULT_STAGES)
+        assert len(CheckpointStore(tmp_path)) == len(DEFAULT_STAGES)
+
+        run_before = counter("pipeline.stages_run")
+        skip_before = counter("pipeline.stages_skipped")
+        hits_before = counter("cache.checkpoint_hits")
+        second = run_flow(
+            spec, "ranking", fraction=0.5, objective="area",
+            checkpoint_dir=tmp_path,
+        )
+        assert second == first
+        assert counter("pipeline.stages_run") == run_before
+        assert counter("pipeline.stages_skipped") == skip_before + len(DEFAULT_STAGES)
+        assert counter("cache.checkpoint_hits") == hits_before + len(DEFAULT_STAGES)
+
+    def test_reparameterised_run_resumes_from_divergence(self, spec, tmp_path):
+        run_flow(spec, "ranking", fraction=0.5, objective="area",
+                 checkpoint_dir=tmp_path)
+        run_before = counter("pipeline.stages_run")
+        skip_before = counter("pipeline.stages_skipped")
+        # Only `tune` and `measure` depend on the objective: the four
+        # upstream stages load from the previous run's checkpoints.
+        retuned = run_flow(spec, "ranking", fraction=0.5, objective="delay",
+                           checkpoint_dir=tmp_path)
+        assert counter("pipeline.stages_run") == run_before + 2
+        assert counter("pipeline.stages_skipped") == skip_before + 4
+        assert retuned == run_flow(spec, "ranking", fraction=0.5,
+                                   objective="delay")
+
+    def test_different_spec_shares_nothing(self, spec, tmp_path):
+        run_flow(spec, "conventional", objective="area", checkpoint_dir=tmp_path)
+        phases = spec.phases.copy()
+        phases[0, 0] = ON if phases[0, 0] != ON else OFF
+        other = FunctionSpec(phases, name="ckpt")
+        skip_before = counter("pipeline.stages_skipped")
+        run_flow(other, "conventional", objective="area", checkpoint_dir=tmp_path)
+        assert counter("pipeline.stages_skipped") == skip_before
+
+    def test_corrupt_checkpoint_recomputes_cleanly(self, spec, tmp_path):
+        first = run_flow(spec, "complete", objective="area",
+                         checkpoint_dir=tmp_path)
+        store = CheckpointStore(tmp_path)
+        victim = tmp_path / [e for e in store.entries()
+                             if e.startswith("espresso-")][0]
+        victim.write_bytes(b"not a pickle")
+        second = run_flow(spec, "complete", objective="area",
+                          checkpoint_dir=tmp_path)
+        assert second == first
+
+    def test_stop_after_then_full_run_resumes(self, spec, tmp_path):
+        pipe = Pipeline.from_config(
+            default_config("ranking", fraction=0.5, objective="area"),
+            checkpoint=tmp_path,
+        )
+        pipe.run(spec=spec, stop_after="espresso")
+        assert len(CheckpointStore(tmp_path)) == 2
+
+        run_before = counter("pipeline.stages_run")
+        skip_before = counter("pipeline.stages_skipped")
+        resumed = run_flow(spec, "ranking", fraction=0.5, objective="area",
+                           checkpoint_dir=tmp_path)
+        assert counter("pipeline.stages_run") == run_before + 4
+        assert counter("pipeline.stages_skipped") == skip_before + 2
+        assert resumed == run_flow(spec, "ranking", fraction=0.5,
+                                   objective="area")
+
+
+class TestCheckpointedSweeps:
+    def test_parallel_checkpointed_sweep_matches_serial(self, spec, tmp_path):
+        serial = fraction_sweep(spec, [0.0, 0.6], objective="area")
+        parallel = fraction_sweep(
+            spec, [0.0, 0.6], objective="area", jobs=2,
+            checkpoint_dir=str(tmp_path),
+        )
+        assert parallel == serial
+        # Both points persisted their stages into the shared directory.
+        assert len(CheckpointStore(tmp_path)) == 2 * len(DEFAULT_STAGES)
+
+
+_KILL_SCRIPT = """
+import sys
+from repro.benchgen.synthetic import generate_spec
+from repro.flows.experiment import run_flow
+
+spec = generate_spec("killme", 8, 4, target_cf=0.6, dc_fraction=0.5, seed=5)
+run_flow(spec, "ranking", fraction=0.5, objective="area",
+         checkpoint_dir=sys.argv[1])
+"""
+
+
+class TestKillResume:
+    def test_sigkill_mid_flow_then_resume(self, tmp_path):
+        """A flow killed with SIGKILL resumes to the identical result."""
+        from repro.benchgen.synthetic import generate_spec
+
+        proc = subprocess.Popen(
+            [sys.executable, "-c", _KILL_SCRIPT, str(tmp_path)],
+            env=dict(os.environ),
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.PIPE,
+        )
+        deadline = time.monotonic() + 120
+        try:
+            # Kill as soon as the first stage has checkpointed; if the
+            # flow finishes first the resume below simply skips everything.
+            while time.monotonic() < deadline:
+                if list(tmp_path.glob("*.ckpt")) or proc.poll() is not None:
+                    break
+                time.sleep(0.05)
+            if proc.poll() is None:
+                proc.send_signal(signal.SIGKILL)
+        finally:
+            stderr = proc.communicate()[1]
+        assert list(tmp_path.glob("*.ckpt")), (
+            f"flow produced no checkpoints; stderr:\n{stderr.decode()}"
+        )
+
+        spec = generate_spec("killme", 8, 4, target_cf=0.6, dc_fraction=0.5,
+                             seed=5)
+        fresh = run_flow(spec, "ranking", fraction=0.5, objective="area")
+        hits_before = counter("cache.checkpoint_hits")
+        resumed = run_flow(spec, "ranking", fraction=0.5, objective="area",
+                           checkpoint_dir=tmp_path)
+        assert resumed == fresh
+        assert counter("cache.checkpoint_hits") > hits_before
