@@ -140,39 +140,59 @@ def test_espresso_cached_throughput(benchmark, random_function):
 
 
 def test_parallel_sweep_wallclock():
-    """10-point fraction sweep: ``jobs=4`` vs serial wall-clock.
+    """10-point fraction sweep: warm-pool ``jobs=4`` vs serial wall-clock.
 
-    Both timings land in BENCH_substrate.json.  The parallel-beats-serial
-    assertion only fires when the machine actually has more than one CPU —
-    on a single-core container process fan-out cannot win.
+    Both timings land in BENCH_substrate.json along with the CPU count
+    they were measured on.  The pool is warmed (spawn + preload) before
+    the timed region — steady-state sweeps run against an already-warm
+    pool, and the spawn cost is a one-time constant, not a per-sweep tax.
+
+    The >= 2.5x speedup floor is only asserted when the machine actually
+    has at least ``jobs`` CPUs; on a smaller box the entry is annotated
+    ``"insufficient_cpus": true`` so a 1-core run is never read as a
+    parallelism regression.  The bit-identical-to-serial check always
+    runs.
     """
+    from repro.perf import get_pool, shutdown_pool
+
+    jobs = 4
     spec = generate_spec(
         "sweepbench", 10, 8, target_cf=0.65, dc_fraction=0.5, seed=7
     )
     fractions = [i / 9 for i in range(10)]
     # Parallel first: the workers' minimisation caches die with the pool,
-    # so neither timing inherits warm state from the other.
+    # so neither timing inherits warm state from the other.  Shut down
+    # any pool a previous test left behind, then warm a fresh one with a
+    # cold parent cache so the workers are seeded with nothing.
+    shutdown_pool()
     reset_cache()
+    get_pool(jobs)  # spawn + preload outside the timed region
     start = time.perf_counter()
-    parallel = fraction_sweep(spec, fractions, objective="area", jobs=4)
+    parallel = fraction_sweep(spec, fractions, objective="area", jobs=jobs)
     parallel_seconds = time.perf_counter() - start
+    shutdown_pool()
     reset_cache()
     start = time.perf_counter()
     serial = fraction_sweep(spec, fractions, objective="area", jobs=1)
     serial_seconds = time.perf_counter() - start
     assert serial == parallel  # deterministic ordering, identical results
     cpus = _available_cpus()
+    insufficient = cpus < jobs
+    speedup = serial_seconds / parallel_seconds
     _RESULTS["fraction_sweep_10pt"] = {
         "points": len(fractions),
-        "jobs": 4,
+        "jobs": jobs,
+        "cpus": cpus,
+        "insufficient_cpus": insufficient,
+        "includes_pool_spawn": False,
         "serial_seconds": serial_seconds,
         "parallel_jobs4_seconds": parallel_seconds,
-        "speedup": serial_seconds / parallel_seconds,
+        "speedup": speedup,
     }
-    if cpus > 1:
-        assert parallel_seconds < serial_seconds, (
-            f"jobs=4 ({parallel_seconds:.2f}s) should beat serial "
-            f"({serial_seconds:.2f}s) on {cpus} CPUs"
+    if not insufficient:
+        assert speedup >= 2.5, (
+            f"warm-pool jobs={jobs} only {speedup:.2f}x over serial "
+            f"({parallel_seconds:.2f}s vs {serial_seconds:.2f}s) on {cpus} CPUs"
         )
 
 

@@ -11,9 +11,10 @@ Commands
     Run the full flow and print area/delay/power/gates/error rate.
 ``estimate <file.pla|name>``
     Print the exact, signal-probability and border estimate bands.
-``sweep <file.pla|name> [--objective O] [--points N] [--jobs J]``
+``sweep <file.pla|name> [--objective O] [--points N] [--jobs J|auto]``
     Ranking-fraction sweep with normalised metrics (Fig. 4/5 style);
-    ``--jobs`` fans the sweep points out over worker processes.
+    ``--jobs`` fans the sweep points out over the warm worker pool
+    (``auto`` = CPU count, capped by the point count).
 ``gen --inputs N --outputs M --cf C --dc D [-o OUT]``
     Generate a synthetic benchmark PLA.
 ``pipeline run <file.pla|name> [--config FILE] [--checkpoint-dir DIR]``
@@ -54,6 +55,25 @@ from .pla import read_pla, write_pla
 __all__ = ["main"]
 
 
+def _resolve_jobs_arg(value: str, points: int | None = None) -> int:
+    """Resolve a ``--jobs`` flag value (integer or ``auto``) to a count."""
+    from .perf import resolve_jobs
+
+    try:
+        return resolve_jobs(value, points=points)
+    except ValueError as error:
+        raise SystemExit(f"--jobs: {error}") from None
+
+
+def _add_jobs_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs", default="1", metavar="N|auto",
+        help="worker processes for the sweep points; 'auto' resolves to "
+             "the CPU count, capped by the point count (see "
+             "'repro info --json' for the resolved executor config)",
+    )
+
+
 def _load_spec(token: str) -> FunctionSpec:
     if token.endswith(".pla"):
         return read_pla(token)
@@ -65,6 +85,7 @@ def _load_spec(token: str) -> FunctionSpec:
 
 
 def _cmd_info(args: argparse.Namespace) -> int:
+    from .perf import executor_config
     from .pipeline import stage_names
 
     spec = _load_spec(args.benchmark)
@@ -80,6 +101,7 @@ def _cmd_info(args: argparse.Namespace) -> int:
             "exact_error_min": bounds.lo,
             "exact_error_max": bounds.hi,
             "pipeline_stages": stage_names(),
+            "executor": executor_config("auto"),
         }, indent=2, sort_keys=True))
         return 0
     rows = [
@@ -162,6 +184,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
     spec = _load_spec(args.benchmark)
     fractions = [i / (args.points - 1) for i in range(args.points)]
+    jobs = _resolve_jobs_arg(args.jobs, points=len(fractions))
     session = getattr(args, "_obs_session", None)
     progress = (
         session.progress_reporter(total=len(fractions), label="sweep")
@@ -169,7 +192,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         else None
     )
     results = fraction_sweep(
-        spec, fractions, objective=args.objective, jobs=args.jobs,
+        spec, fractions, objective=args.objective, jobs=jobs,
         progress=progress, checkpoint_dir=args.checkpoint_dir,
     )
     baseline = results[0] if fractions and fractions[0] == 0.0 else run_flow(
@@ -223,7 +246,10 @@ def _cmd_nodal(args: argparse.Namespace) -> int:
 def _cmd_export(args: argparse.Namespace) -> int:
     from .flows.export import export_all
 
-    paths = export_all(args.directory, names=args.benchmarks)
+    paths = export_all(
+        args.directory, names=args.benchmarks,
+        jobs=_resolve_jobs_arg(args.jobs),
+    )
     for path in paths:
         print(f"wrote {path}")
     return 0
@@ -414,8 +440,7 @@ def _build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--objective", default="power",
                          choices=["delay", "power", "area"])
     p_sweep.add_argument("--points", type=int, default=5)
-    p_sweep.add_argument("--jobs", type=int, default=1,
-                         help="worker processes for the sweep points")
+    _add_jobs_arg(p_sweep)
     p_sweep.add_argument("--cache-stats", action="store_true",
                          help="print minimization-cache hit/miss counters")
     p_sweep.add_argument("--checkpoint-dir", default=None,
@@ -468,6 +493,7 @@ def _build_parser() -> argparse.ArgumentParser:
     p_export.add_argument("directory")
     p_export.add_argument("--benchmarks", nargs="*", default=None,
                           help="benchmark names (default: a fast subset)")
+    _add_jobs_arg(p_export)
     p_export.set_defaults(func=_cmd_export)
 
     p_gen = add_parser("gen", help="generate a synthetic benchmark")

@@ -50,17 +50,27 @@ def export_fraction_sweep(
     names: list[str],
     fractions: list[float],
     objective: str = "power",
+    jobs: int = 1,
 ) -> Path:
-    """Write the Fig. 4/5 sweep data (normalised metrics per fraction)."""
+    """Write the Fig. 4/5 sweep data (normalised metrics per fraction).
+
+    With ``jobs > 1`` each benchmark's fractions fan out over the warm
+    worker pool (see :func:`repro.flows.sweep.fraction_sweep`); results
+    are bit-identical to the serial export.
+    """
+    from .sweep import fraction_sweep
+
     rows = []
     for name in names:
         spec = mcnc_benchmark(name)
-        baseline = run_flow(spec, "ranking", fraction=0.0, objective=objective)
-        for fraction in fractions:
-            result = (
-                baseline if fraction == 0.0
-                else run_flow(spec, "ranking", fraction=fraction, objective=objective)
-            )
+        results = fraction_sweep(
+            spec, list(fractions), objective=objective, jobs=jobs
+        )
+        baseline = (
+            results[fractions.index(0.0)] if 0.0 in fractions
+            else run_flow(spec, "ranking", fraction=0.0, objective=objective)
+        )
+        for fraction, result in zip(fractions, results):
             rel = relative_metrics(result, baseline)
             rows.append([
                 name, fraction,
@@ -76,11 +86,22 @@ def export_fraction_sweep(
     return path
 
 
-def export_table2(directory: Path, names: list[str]) -> Path:
-    """Write Table 2 rows."""
+def _table2_task(name: str) -> "Table2Row":
+    """Module-level trampoline: Table 2 rows pickle across pool workers."""
+    return table2_row(mcnc_benchmark(name))
+
+
+def _table3_task(name: str) -> "Table3Row":
+    """Module-level trampoline: Table 3 rows pickle across pool workers."""
+    return table3_row(mcnc_benchmark(name))
+
+
+def export_table2(directory: Path, names: list[str], jobs: int = 1) -> Path:
+    """Write Table 2 rows (one benchmark per pool task with ``jobs > 1``)."""
+    from .sweep import parallel_map
+
     rows = []
-    for name in names:
-        row = table2_row(mcnc_benchmark(name))
+    for row in parallel_map(_table2_task, names, jobs):
         rows.append([
             row.benchmark, round(row.cf, 4),
             round(row.lcf_area, 2), round(row.lcf_error, 2),
@@ -98,11 +119,12 @@ def export_table2(directory: Path, names: list[str]) -> Path:
     return path
 
 
-def export_table3(directory: Path, names: list[str]) -> Path:
-    """Write Table 3 rows."""
+def export_table3(directory: Path, names: list[str], jobs: int = 1) -> Path:
+    """Write Table 3 rows (one benchmark per pool task with ``jobs > 1``)."""
+    from .sweep import parallel_map
+
     rows = []
-    for name in names:
-        row = table3_row(mcnc_benchmark(name))
+    for row in parallel_map(_table3_task, names, jobs):
         rows.append([
             row.benchmark, row.gates,
             round(row.exact.lo, 5), round(row.exact.hi, 5),
@@ -127,15 +149,20 @@ def export_all(
     *,
     names: list[str] | None = None,
     fractions: list[float] | None = None,
+    jobs: int = 1,
 ) -> list[Path]:
-    """Regenerate all figure/table CSVs into *directory*."""
+    """Regenerate all figure/table CSVs into *directory*.
+
+    ``jobs > 1`` fans the sweep points and per-benchmark table rows out
+    over the warm worker pool; the CSVs are bit-identical either way.
+    """
     target = Path(directory)
     target.mkdir(parents=True, exist_ok=True)
     names = names or ["bench", "fout", "p3", "test4", "exam"]
     fractions = fractions or [0.0, 0.25, 0.5, 0.75, 1.0]
     return [
         export_table1(target, names),
-        export_fraction_sweep(target, names, fractions),
-        export_table2(target, names),
-        export_table3(target, names),
+        export_fraction_sweep(target, names, fractions, jobs=jobs),
+        export_table2(target, names, jobs=jobs),
+        export_table3(target, names, jobs=jobs),
     ]

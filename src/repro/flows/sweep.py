@@ -13,12 +13,15 @@ Parallel execution
 
 Every sweep point is an independent ``run_flow`` call — itself a thin
 driver over the stage graph of :mod:`repro.pipeline` — so the sweep
-drivers accept a ``jobs`` argument and fan the points out over a
-:class:`~concurrent.futures.ProcessPoolExecutor` (see
-:func:`parallel_map`).  Results always come back in input order, so a
-parallel sweep is bit-identical to the serial one.  ``jobs <= 1`` runs
-in-process, which additionally shares the minimisation cache of
-:mod:`repro.perf` across points.
+drivers accept a ``jobs`` argument (an integer or ``"auto"``) and fan
+the points out over the process-wide warm worker pool of
+:mod:`repro.perf.pool` (see :func:`parallel_map`): persistent preloaded
+workers, cache pre-seeding, shared-memory task transfer and batched
+work-stealing scheduling.  Results always come back in input order and
+synthesis is deterministic across processes, so a parallel sweep is
+bit-identical to the serial one.  ``jobs <= 1`` runs in-process, which
+additionally shares the minimisation cache of :mod:`repro.perf` across
+points.
 
 Checkpointed sweeps: pass ``checkpoint_dir`` and every point persists
 its per-stage outputs content-addressed (see
@@ -40,10 +43,8 @@ stack.
 
 from __future__ import annotations
 
-import traceback as _traceback
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass
-from typing import Any, Callable, Iterable, Sequence, TypeVar
+from typing import Any, Callable, Sequence, TypeVar
 
 import numpy as np
 
@@ -52,9 +53,8 @@ from ..core.cfactor import DEFAULT_THRESHOLD, cfactor_assignment
 from ..core.estimates import border_bounds, signal_probability_bounds
 from ..core.reliability import ErrorBounds, exact_error_bounds
 from ..core.spec import FunctionSpec
-from ..obs import metrics as obs_metrics
-from ..obs import trace as obs_trace
 from ..obs import span
+from ..perf.pool import WorkerTaskError, get_pool, pool_enabled, resolve_jobs
 from .experiment import FlowResult, relative_metrics, run_flow
 
 __all__ = [
@@ -115,48 +115,29 @@ def _describe_point(point: Any) -> str:
     return text if len(text) <= 120 else text[:117] + "..."
 
 
-def _obs_worker(payload: tuple) -> tuple:
-    """Run one task in a worker, capturing its trace/metrics delta.
-
-    Pool workers are long-lived and serve many tasks, so the metrics
-    delta is the difference of snapshots around this task and the trace
-    buffer is cleared per task — a reused worker never double-reports.
-    Exceptions are converted into an ``("error", ...)`` outcome so the
-    parent can attach the failing point's parameters.
-    """
-    func, task, index, traced = payload
-    before = obs_metrics.metrics_snapshot()
-    tracer = obs_trace.enable_tracing() if traced else None
-    try:
-        with span("sweep.point", index=index):
-            result = func(task)
-        outcome = ("ok", index, result)
-    except Exception as exc:  # noqa: BLE001 - reported to the parent
-        outcome = ("error", index, f"{type(exc).__name__}: {exc}",
-                   _traceback.format_exc())
-    finally:
-        if traced:
-            obs_trace.disable_tracing()
-    records = tracer.snapshot(clear=True) if tracer is not None else []
-    delta = obs_metrics.diff_snapshots(obs_metrics.metrics_snapshot(), before)
-    return outcome + (delta, records)
-
-
 def parallel_map(
     func: Callable[[_T], _R],
     tasks: Sequence[_T],
-    jobs: int,
+    jobs: int | str,
     *,
     progress: ProgressCallback | None = None,
 ) -> list[_R]:
-    """Map *func* over *tasks*, optionally across worker processes.
+    """Map *func* over *tasks*, optionally across warm worker processes.
+
+    Parallel execution runs on the process-wide warm pool of
+    :mod:`repro.perf.pool`: workers persist across successive calls (the
+    second sweep in a process pays no spawn or import cost), task
+    payloads travel zero-copy through shared memory, and points are
+    scheduled as work-stealing batches with a bounded in-flight window —
+    a thousand-point sweep never holds every payload resident at once.
 
     Args:
         func: a picklable (module-level) callable.
-        jobs: worker-process count; ``<= 1`` runs serially in-process.
+        jobs: worker-process count, or ``"auto"`` for the CPU count;
+            ``<= 1`` runs serially in-process.
         progress: optional ``callback(done, total)`` fired as each task
-            completes (in completion order; results still return in
-            input order).
+            completes (in completion order, with ``done`` monotonically
+            increasing; results still return in input order).
 
     Returns:
         Results in input order regardless of completion order, so callers
@@ -164,46 +145,26 @@ def parallel_map(
 
     Raises:
         SweepPointError: when a worker task raises; the failing task's
-            parameters and the worker traceback ride on the exception.
+            parameters and the worker traceback ride on the exception,
+            and queued-but-unclaimed work is cancelled.
     """
     total = len(tasks)
-    if jobs <= 1 or total <= 1:
+    jobs = resolve_jobs(jobs, points=total)
+    if jobs <= 1 or total <= 1 or not pool_enabled():
         results = []
         for index, task in enumerate(tasks):
             results.append(func(task))
             if progress is not None:
                 progress(index + 1, total)
         return results
-    traced = obs_trace.is_enabled()
-    results: list[Any] = [None] * total
-    done = 0
-    with ProcessPoolExecutor(max_workers=min(jobs, total)) as pool:
-        pending = {
-            pool.submit(_obs_worker, (func, task, index, traced))
-            for index, task in enumerate(tasks)
-        }
-        while pending:
-            completed, pending = wait(pending, return_when=FIRST_COMPLETED)
-            for future in completed:
-                outcome = future.result()
-                status, index = outcome[0], outcome[1]
-                delta, records = outcome[-2], outcome[-1]
-                obs_metrics.merge_snapshot(delta)
-                tracer = obs_trace.current_tracer()
-                if tracer is not None:
-                    tracer.ingest(records)
-                if status == "error":
-                    _, _, message, worker_tb, _, _ = outcome
-                    for other in pending:
-                        other.cancel()
-                    raise SweepPointError(
-                        index, tasks[index], message, worker_tb
-                    )
-                results[index] = outcome[2]
-                done += 1
-                if progress is not None:
-                    progress(done, total)
-    return results
+    pool = get_pool(jobs)
+    try:
+        return pool.map(func, tasks, jobs, progress=progress)
+    except WorkerTaskError as error:
+        raise SweepPointError(
+            error.index, tasks[error.index], error.message,
+            error.worker_traceback,
+        ) from None
 
 
 def _run_flow_task(task: tuple[FunctionSpec, str, dict]) -> FlowResult:

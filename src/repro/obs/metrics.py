@@ -30,7 +30,8 @@ Naming convention: dotted lowercase ``subsystem.noun`` (see
 
 from __future__ import annotations
 
-from typing import Any, Callable, Iterable
+from contextlib import contextmanager
+from typing import Any, Callable, Iterable, Iterator
 
 __all__ = [
     "Counter",
@@ -39,6 +40,7 @@ __all__ = [
     "MetricsRegistry",
     "configure_metrics",
     "counter",
+    "delta_capture",
     "diff_snapshots",
     "gauge",
     "global_registry",
@@ -310,6 +312,31 @@ def diff_snapshots(
                     "count": count,
                 }
     return delta
+
+
+@contextmanager
+def delta_capture(*, keep_zero: bool = False) -> Iterator[dict[str, Any]]:
+    """Capture the metrics delta of a block of work.
+
+    Yields an (initially empty) dict that is filled with the
+    :func:`diff_snapshots` delta of the process-wide registry around the
+    block — the pattern pool workers use to attribute each task batch
+    only the work it caused, however long the worker has lived::
+
+        with delta_capture() as delta:
+            run_batch()
+        ship(delta)  # counters/histograms of the batch only
+
+    The dict is populated when the block exits (including on exception),
+    so read it only after the ``with`` statement.
+    """
+    holder: dict[str, Any] = {}
+    before = metrics_snapshot()
+    try:
+        yield holder
+    finally:
+        holder.update(diff_snapshots(metrics_snapshot(), before,
+                                     keep_zero=keep_zero))
 
 
 global_registry = MetricsRegistry()

@@ -3,12 +3,16 @@
 A :class:`ProgressReporter` is a plain callable ``reporter(done, total)``
 — the shape :func:`repro.flows.sweep.parallel_map` accepts — that
 renders a single self-overwriting status line with percentage, elapsed
-time and an ETA extrapolated from the mean per-item rate so far::
+time, throughput and an ETA extrapolated from the mean per-item rate so
+far::
 
-    sweep [===========>        ]  6/10  60%  elapsed 4.1s  eta 2.7s
+    sweep [===========>        ]  6/10  60%  1.5/s  elapsed 4.1s  eta 2.7s
 
 It writes to stderr by default (stdout stays machine-readable) and
 throttles redraws, so calling it per completed sweep point is free.
+``done`` may jump by more than one between calls — the warm-pool
+executor completes points in work-stealing batches — and must never
+decrease; the reporter extrapolates from the running mean either way.
 """
 
 from __future__ import annotations
@@ -69,6 +73,8 @@ class ProgressReporter:
 
     def _draw(self, done: int, elapsed: float) -> None:
         total = self.total
+        rate = done / elapsed if done and elapsed > 0 else 0.0
+        rate_text = f"{rate:.1f}/s" if rate else "-/s"
         if total:
             fraction = min(1.0, done / total)
             filled = int(self.width * fraction)
@@ -78,10 +84,13 @@ class ProgressReporter:
             eta_text = format_duration(eta) if done else "?"
             line = (
                 f"{self.label} [{bar}] {done}/{total} {100 * fraction:3.0f}%  "
-                f"elapsed {format_duration(elapsed)}  eta {eta_text}"
+                f"{rate_text}  elapsed {format_duration(elapsed)}  eta {eta_text}"
             )
         else:
-            line = f"{self.label} {done} done  elapsed {format_duration(elapsed)}"
+            line = (
+                f"{self.label} {done} done  {rate_text}  "
+                f"elapsed {format_duration(elapsed)}"
+            )
         self.stream.write("\r" + line)
         self.stream.flush()
 

@@ -1,8 +1,10 @@
-"""Performance substrate: content-addressed minimisation caching.
+"""Performance substrate: minimisation caching and the warm worker pool.
 
-See :mod:`repro.perf.cache` for the memo consulted by
+See :mod:`repro.perf.cache` for the content-addressed memo consulted by
 :func:`repro.espresso.minimize.espresso` and
-:func:`repro.espresso.minimize.minimize_spec`, and
+:func:`repro.espresso.minimize.minimize_spec`, :mod:`repro.perf.pool`
+for the persistent sweep executor behind
+:func:`repro.flows.sweep.parallel_map`, and
 :doc:`docs/performance.md </docs/performance>` for the design notes.
 """
 
@@ -18,16 +20,36 @@ from .cache import (
     spec_key,
     stage_key,
 )
+from .pool import (
+    WarmPool,
+    WorkerTaskError,
+    available_cpus,
+    configure_pool,
+    executor_config,
+    get_pool,
+    pool_enabled,
+    resolve_jobs,
+    shutdown_pool,
+)
 
 __all__ = [
     "CacheStats",
     "MinimizationCache",
+    "WarmPool",
+    "WorkerTaskError",
+    "available_cpus",
     "cache_stats",
     "configure_cache",
+    "configure_pool",
     "cover_key",
     "digest_parts",
+    "executor_config",
+    "get_pool",
     "global_cache",
+    "pool_enabled",
     "reset_cache",
+    "resolve_jobs",
+    "shutdown_pool",
     "spec_key",
     "stage_key",
 ]

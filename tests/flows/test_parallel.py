@@ -1,5 +1,8 @@
 """Tests for the parallel sweep executor."""
 
+import time
+from pathlib import Path
+
 import numpy as np
 import pytest
 
@@ -24,6 +27,20 @@ def _boom(x: int) -> int:
     return x
 
 
+def _staggered_square(x: int) -> int:
+    # Early tasks sleep longest, so completion order inverts input order.
+    time.sleep(0.05 if x < 2 else 0.0)
+    return x * x
+
+
+def _touch_and_square(task) -> int:
+    directory, x = task
+    if x == 2:
+        raise ValueError(f"cannot process {x}")
+    (Path(directory) / f"ran_{x}").touch()
+    return x * x
+
+
 class TestParallelMap:
     def test_serial_and_parallel_agree(self):
         tasks = list(range(10))
@@ -46,6 +63,33 @@ class TestParallelMap:
         assert [d for d, _ in seen] == [1, 2, 3, 4]
         assert all(t == 4 for _, t in seen)
 
+    def test_progress_monotonic_under_out_of_order_completion(self):
+        # The first tasks are the slowest, so later chunks complete first;
+        # the reported ``done`` count must still only ever increase and
+        # cover every task exactly once.
+        seen = []
+        tasks = list(range(12))
+        results = parallel_map(
+            _staggered_square, tasks, 3,
+            progress=lambda d, t: seen.append(d),
+        )
+        assert results == [x * x for x in tasks]
+        assert seen == list(range(1, len(tasks) + 1))
+
+    def test_warm_pool_reuse_matches_serial(self):
+        # Two successive maps on the same (now warm) pool both agree with
+        # the serial path bit-for-bit.
+        tasks = list(range(20))
+        serial = parallel_map(_square, tasks, 1)
+        assert parallel_map(_square, tasks, 4) == serial
+        assert parallel_map(_square, tasks, 4) == serial
+
+    def test_jobs_auto_resolves(self):
+        tasks = [1, 2, 3]
+        assert parallel_map(_square, tasks, "auto") == [1, 4, 9]
+        with pytest.raises(ValueError):
+            parallel_map(_square, tasks, "lots")
+
 
 class TestWorkerFailures:
     def test_exception_carries_failing_point(self):
@@ -56,6 +100,20 @@ class TestWorkerFailures:
         assert error.point == 3
         assert "ValueError: cannot process 3" in str(error)
         assert "raise ValueError" in error.worker_traceback
+
+    def test_mid_sweep_error_cancels_pending_work(self, tmp_path):
+        # A failure near the front of a long sweep must not let the pool
+        # grind through the remaining points: queued chunks are cancelled,
+        # so most sentinel files are never written.
+        total = 50
+        tasks = [(str(tmp_path), x) for x in range(total)]
+        with pytest.raises(SweepPointError) as excinfo:
+            parallel_map(_touch_and_square, tasks, 2)
+        assert excinfo.value.index == 2
+        assert excinfo.value.point == tasks[2]
+        time.sleep(0.5)  # let in-flight chunks settle before counting
+        executed = len(list(tmp_path.glob("ran_*")))
+        assert executed < total
 
     def test_serial_path_raises_plain_exception(self):
         # jobs=1 never crosses a process boundary; the original error
@@ -126,6 +184,23 @@ class TestParallelSweeps:
         serial = threshold_sweep(spec, thresholds, objective="area", jobs=1)
         parallel = threshold_sweep(spec, thresholds, objective="area", jobs=2)
         assert serial == parallel
+
+    def test_all_policies_parallel_match_serial(self):
+        # Bit-identical results across the pool for every assignment
+        # policy, not just the ranking sweeps the other tests exercise.
+        spec = mcnc_benchmark("fout")
+        tasks = [
+            (spec, "conventional", {"objective": "area"}),
+            (spec, "ranking", {"fraction": 0.5, "objective": "area"}),
+            (spec, "cfactor", {"threshold": 0.55, "objective": "area"}),
+            (spec, "complete", {"objective": "area"}),
+        ]
+        serial = parallel_map(_run_flow_task, tasks, 1)
+        parallel = parallel_map(_run_flow_task, tasks, 2)
+        assert serial == parallel
+        assert [r.policy for r in parallel] == [
+            "conventional", "ranking", "cfactor", "complete",
+        ]
 
     def test_run_flow_task_trampoline(self):
         spec = mcnc_benchmark("fout")
