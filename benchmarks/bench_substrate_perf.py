@@ -59,20 +59,29 @@ def _timings(benchmark):
 
 @pytest.fixture(scope="module", autouse=True)
 def _persist_results():
-    """Write everything the benchmarks recorded to BENCH_substrate.json."""
-    from repro.obs import collect_manifest
+    """Write everything the benchmarks recorded to BENCH_substrate.json.
+
+    The run also lands in the telemetry ledger via :class:`ObsSession`
+    (benchmark numbers under ``extra``), so ``repro obs regressions``
+    can gate bench-vs-bench drift the same way it gates sweeps.
+    """
+    from repro.obs import ObsSession
 
     _RESULTS.clear()
     _RESULTS["generated_by"] = "benchmarks/bench_substrate_perf.py"
     _RESULTS["cpus"] = _available_cpus()
-    manifest = collect_manifest("bench_substrate_perf")
-    start = time.perf_counter()
-    yield
+    session = ObsSession("bench_substrate_perf")
+    with session:
+        yield
+        session.exit_status = 0
+        if len(_RESULTS) > 2:
+            session.extra = {"bench": {
+                key: value for key, value in _RESULTS.items()
+                if isinstance(value, dict)
+            }}
     if len(_RESULTS) > 2:
         # Provenance: which revision/library versions produced the numbers.
-        manifest.duration_seconds = time.perf_counter() - start
-        manifest.exit_status = 0
-        _RESULTS["manifest"] = manifest.to_dict()
+        _RESULTS["manifest"] = session.manifest.to_dict()
         # Merge over the existing file so a partial run (e.g. the CI
         # ``--quick`` smoke) refreshes its own entries without dropping
         # numbers it did not measure.

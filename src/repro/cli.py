@@ -23,6 +23,11 @@ Commands
     re-parameterised run resumes from the last valid stage output.
 ``pipeline stages``
     List the registered pipeline stages (also in ``info --json``).
+``obs runs|show|compare|regressions|export``
+    Query the telemetry ledger: list recorded runs, inspect one,
+    compare two, or gate on drift — ``obs regressions --baseline
+    <rev|run-id>`` exits non-zero when wall clock or any quality
+    figure regressed past tolerance.
 
 Positional benchmark arguments accept either a ``.pla`` path or a Table 1
 stand-in name (``bench``, ``ex1010``, ...).
@@ -31,9 +36,14 @@ Observability flags (every subcommand, see ``docs/observability.md``):
 ``--trace FILE`` records tracing spans (JSONL, or Chrome/Perfetto JSON
 for ``.json`` paths), ``--metrics-out FILE`` writes the merged metrics
 snapshot with an embedded run manifest, ``--manifest FILE`` writes the
-bare manifest, and ``--progress`` renders a live done/total + ETA line
-on stderr for sweeps.  ``repro --version`` prints the package version;
-``repro info BENCH --json`` emits machine-readable properties.
+bare manifest, ``--profile FILE`` writes flamegraph-ready collapsed
+stacks from the sampling profiler (pool workers included), and
+``--progress`` renders a live done/total + ETA line on stderr for
+sweeps.  Every run is also appended to the telemetry ledger
+(``.repro/ledger.sqlite`` unless ``REPRO_LEDGER_PATH``/
+``REPRO_LEDGER_DISABLE`` say otherwise).  ``repro --version`` prints
+the package version; ``repro info BENCH --json`` emits
+machine-readable properties including the ledger status.
 """
 
 from __future__ import annotations
@@ -84,6 +94,31 @@ def _load_spec(token: str) -> FunctionSpec:
     )
 
 
+def _ledger_info() -> dict:
+    """The ``repro info --json`` ledger block (never creates the file)."""
+    from .obs.store import (
+        LEDGER_SCHEMA_VERSION,
+        LedgerStore,
+        default_ledger_path,
+        ledger_enabled,
+    )
+
+    path = default_ledger_path()
+    info = {
+        "path": str(path),
+        "schema_version": LEDGER_SCHEMA_VERSION,
+        "enabled": ledger_enabled(),
+        "runs": 0,
+    }
+    if path.exists():
+        try:
+            with LedgerStore(path) as store:
+                info["runs"] = store.run_count()
+        except Exception:  # noqa: BLE001 - info must not fail on a bad ledger
+            info["runs"] = None
+    return info
+
+
 def _cmd_info(args: argparse.Namespace) -> int:
     from .perf import executor_config
     from .pipeline import stage_names
@@ -102,6 +137,7 @@ def _cmd_info(args: argparse.Namespace) -> int:
             "exact_error_max": bounds.hi,
             "pipeline_stages": stage_names(),
             "executor": executor_config("auto"),
+            "ledger": _ledger_info(),
         }, indent=2, sort_keys=True))
         return 0
     rows = [
@@ -145,6 +181,9 @@ def _cmd_synth(args: argparse.Namespace) -> int:
         threshold=args.threshold,
         objective=args.objective,
     )
+    session = getattr(args, "_obs_session", None)
+    if session is not None:
+        session.record_quality([result])
     if args.verilog:
         from .synth.compile_ import compile_spec
         from .synth.verilog import write_verilog
@@ -195,6 +234,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         spec, fractions, objective=args.objective, jobs=jobs,
         progress=progress, checkpoint_dir=args.checkpoint_dir,
     )
+    if session is not None:
+        session.record_quality(results)
     baseline = results[0] if fractions and fractions[0] == 0.0 else run_flow(
         spec, "ranking", fraction=0.0, objective=args.objective
     )
@@ -292,6 +333,9 @@ def _cmd_pipeline_run(args: argparse.Namespace) -> int:
     }
     if "synthesis" in ctx and "assignment" in ctx:
         result = flow_result(ctx)
+        session = getattr(args, "_obs_session", None)
+        if session is not None:
+            session.record_quality([result])
         if args.json:
             print(json.dumps(
                 {"result": dataclasses.asdict(result), "pipeline": summary},
@@ -353,6 +397,187 @@ def _cmd_pipeline_stages(args: argparse.Namespace) -> int:
     return 0
 
 
+def _open_ledger_readonly():
+    """The ledger store for ``repro obs`` queries, or None with a hint.
+
+    Query commands never create the ledger: a missing file means no run
+    has ever recorded, which each command reports instead of silently
+    making an empty database.
+    """
+    from .obs.store import LedgerStore, default_ledger_path
+
+    path = default_ledger_path()
+    if not path.exists():
+        print(f"no telemetry ledger at {path} (run any command to create it)",
+              file=sys.stderr)
+        return None
+    return LedgerStore(path)
+
+
+def _run_summary_row(record) -> list:
+    duration = (
+        f"{record.duration_seconds:.2f}s"
+        if record.duration_seconds is not None else "-"
+    )
+    flags = "interrupted" if record.interrupted else ""
+    return [
+        record.run_id,
+        record.command,
+        (record.git_rev or "")[:12],
+        duration,
+        record.exit_status if record.exit_status is not None else "-",
+        len(record.quality),
+        flags,
+    ]
+
+
+def _cmd_obs_runs(args: argparse.Namespace) -> int:
+    from .flows.report import format_table
+
+    store = _open_ledger_readonly()
+    if store is None:
+        return 0
+    with store:
+        records = store.runs(
+            command=args.filter_command, git_rev=args.rev, limit=args.limit
+        )
+    if args.json:
+        print(json.dumps([r.to_dict() for r in records], indent=2,
+                         sort_keys=True, default=str))
+        return 0
+    if not records:
+        print("no matching runs")
+        return 0
+    rows = [_run_summary_row(r) for r in records]
+    print(format_table(
+        ["run", "command", "rev", "wall", "exit", "quality", "flags"], rows
+    ))
+    return 0
+
+
+def _cmd_obs_show(args: argparse.Namespace) -> int:
+    from .flows.report import format_table
+
+    store = _open_ledger_readonly()
+    if store is None:
+        return 2
+    with store:
+        record = store.get(args.run_id)
+    if record is None:
+        print(f"no run matching {args.run_id!r}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(record.to_dict(), indent=2, sort_keys=True,
+                         default=str))
+        return 0
+    rows = [
+        ["run", record.run_id],
+        ["created", record.created_at],
+        ["command", record.command],
+        ["git rev", record.git_rev or "-"],
+        ["duration", f"{record.duration_seconds:.3f}s"
+         if record.duration_seconds is not None else "-"],
+        ["exit status", record.exit_status],
+        ["interrupted", record.interrupted],
+        ["quality points", len(record.quality)],
+        ["stages timed", len(record.stage_timings)],
+        ["profiled", record.profile is not None],
+        ["worker health", record.worker_health is not None],
+    ]
+    print(format_table(["field", "value"], rows))
+    if record.quality:
+        qrows = [
+            [p.get("benchmark"), p.get("policy"), p.get("parameter"),
+             p.get("objective"), p.get("error_rate"), p.get("area"),
+             p.get("literals")]
+            for p in record.quality
+        ]
+        print(format_table(
+            ["benchmark", "policy", "param", "objective", "error", "area",
+             "literals"],
+            qrows,
+        ))
+    return 0
+
+
+def _cmd_obs_compare(args: argparse.Namespace) -> int:
+    from .obs.regress import compare_runs, format_comparison
+
+    store = _open_ledger_readonly()
+    if store is None:
+        return 2
+    with store:
+        baseline = store.get(args.baseline)
+        candidate = store.get(args.candidate)
+    for run_id, record in ((args.baseline, baseline),
+                           (args.candidate, candidate)):
+        if record is None:
+            print(f"no run matching {run_id!r}", file=sys.stderr)
+            return 2
+    comparison = compare_runs(
+        baseline, candidate,
+        wall_tolerance=args.wall_tolerance,
+        quality_tolerance=args.quality_tolerance,
+    )
+    if args.json:
+        print(json.dumps(comparison.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(format_comparison(comparison))
+    return 0 if comparison.ok else 1
+
+
+def _cmd_obs_regressions(args: argparse.Namespace) -> int:
+    from .obs.regress import compare_runs, format_comparison
+
+    store = _open_ledger_readonly()
+    if store is None:
+        return 2
+    with store:
+        baseline = store.get(args.baseline)
+        if baseline is None:
+            # Not a run id: treat the argument as a git revision and
+            # take that revision's newest run.
+            matches = store.runs(
+                command=args.filter_command, git_rev=args.baseline, limit=1
+            )
+            baseline = matches[0] if matches else None
+        if baseline is None:
+            print(f"no baseline run matching {args.baseline!r}",
+                  file=sys.stderr)
+            return 2
+        if args.candidate:
+            candidate = store.get(args.candidate)
+        else:
+            candidate = store.latest(
+                command=args.filter_command or baseline.command,
+                exclude=baseline.run_id,
+            )
+        if candidate is None:
+            print("no candidate run to compare against the baseline",
+                  file=sys.stderr)
+            return 2
+    comparison = compare_runs(
+        baseline, candidate,
+        wall_tolerance=args.wall_tolerance,
+        quality_tolerance=args.quality_tolerance,
+    )
+    if args.json:
+        print(json.dumps(comparison.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(format_comparison(comparison))
+    return 0 if comparison.ok else 1
+
+
+def _cmd_obs_export(args: argparse.Namespace) -> int:
+    store = _open_ledger_readonly()
+    if store is None:
+        return 2
+    with store:
+        written = store.export_jsonl(args.output)
+    print(f"wrote {written} run(s) to {args.output}")
+    return 0
+
+
 def _cmd_gen(args: argparse.Namespace) -> int:
     spec = generate_spec(
         args.name,
@@ -385,6 +610,10 @@ def _obs_parent() -> argparse.ArgumentParser:
     group.add_argument("--manifest", metavar="FILE", default=None,
                        help="write the run manifest (args, seed, git rev, "
                             "versions, timings) as JSON")
+    group.add_argument("--profile", metavar="FILE", default=None,
+                       help="sample the run with the stack profiler and "
+                            "write flamegraph-ready collapsed stacks here "
+                            "(pool workers included)")
     group.add_argument("--progress", action="store_true",
                        help="render live done/total + ETA on stderr")
     return parent
@@ -478,6 +707,70 @@ def _build_parser() -> argparse.ArgumentParser:
                                help="machine-readable registry listing")
     p_pipe_stages.set_defaults(func=_cmd_pipeline_stages)
 
+    from .obs.regress import DEFAULT_QUALITY_TOLERANCE, DEFAULT_WALL_TOLERANCE
+
+    p_obs = sub.add_parser("obs", help="query the telemetry ledger")
+    obs_sub = p_obs.add_subparsers(dest="obs_command", required=True)
+
+    def add_tolerance_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--wall-tolerance", type=float,
+                       default=DEFAULT_WALL_TOLERANCE, metavar="FRACTION",
+                       help="allowed relative wall-clock slowdown "
+                            "(default %(default)s)")
+        p.add_argument("--quality-tolerance", type=float,
+                       default=DEFAULT_QUALITY_TOLERANCE, metavar="FRACTION",
+                       help="allowed relative worsening of quality figures "
+                            "(default %(default)s)")
+
+    p_obs_runs = obs_sub.add_parser("runs", help="list recorded runs")
+    p_obs_runs.add_argument("--command", dest="filter_command", default=None,
+                            help="only runs of this subcommand")
+    p_obs_runs.add_argument("--rev", default=None,
+                            help="only runs from this git revision (prefix)")
+    p_obs_runs.add_argument("--limit", type=int, default=20)
+    p_obs_runs.add_argument("--json", action="store_true",
+                            help="full records as JSON")
+    p_obs_runs.set_defaults(func=_cmd_obs_runs)
+
+    p_obs_show = obs_sub.add_parser("show", help="show one recorded run")
+    p_obs_show.add_argument("run_id", help="run id (unique prefix accepted)")
+    p_obs_show.add_argument("--json", action="store_true",
+                            help="the full record as JSON")
+    p_obs_show.set_defaults(func=_cmd_obs_show)
+
+    p_obs_cmp = obs_sub.add_parser(
+        "compare", help="diff two runs (exit 1 beyond tolerance)"
+    )
+    p_obs_cmp.add_argument("baseline", help="baseline run id")
+    p_obs_cmp.add_argument("candidate", help="candidate run id")
+    add_tolerance_args(p_obs_cmp)
+    p_obs_cmp.add_argument("--json", action="store_true",
+                           help="the structured diff as JSON")
+    p_obs_cmp.set_defaults(func=_cmd_obs_compare)
+
+    p_obs_reg = obs_sub.add_parser(
+        "regressions",
+        help="gate the newest run against a baseline (exit 1 on drift)",
+    )
+    p_obs_reg.add_argument("--baseline", required=True, metavar="REV|RUN",
+                           help="baseline run id or git revision prefix")
+    p_obs_reg.add_argument("--candidate", default=None, metavar="RUN",
+                           help="candidate run id (default: the newest run "
+                                "of the baseline's command)")
+    p_obs_reg.add_argument("--command", dest="filter_command", default=None,
+                           help="restrict baseline/candidate lookup to this "
+                                "subcommand")
+    add_tolerance_args(p_obs_reg)
+    p_obs_reg.add_argument("--json", action="store_true",
+                           help="the structured diff as JSON")
+    p_obs_reg.set_defaults(func=_cmd_obs_regressions)
+
+    p_obs_exp = obs_sub.add_parser(
+        "export", help="export the ledger as JSONL"
+    )
+    p_obs_exp.add_argument("output", help="JSONL output path")
+    p_obs_exp.set_defaults(func=_cmd_obs_export)
+
     p_nodal = add_parser(
         "nodal", help="internal-DC extraction and reassignment (Sec. 4)"
     )
@@ -515,6 +808,8 @@ def main(argv: list[str] | None = None) -> int:
     parser = _build_parser()
     args = parser.parse_args(argv)
     session = ObsSession.from_args(args.command, args, argv=argv)
+    # Ledger queries must not append to the ledger they are reading.
+    session.ledger_enabled = args.command != "obs"
     args._obs_session = session
     try:
         with session:

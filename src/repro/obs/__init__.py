@@ -14,9 +14,16 @@ The package makes the substrate introspectable end to end:
   (args, seed, git rev, versions, timings, metrics) written by the CLI
   and the benchmarks.
 * :mod:`repro.obs.progress` — the ``--progress`` ETA reporter.
+* :mod:`repro.obs.store` — the telemetry ledger: an append-only SQLite
+  record of every run (manifest, metrics, stage timings, quality
+  figures, profile, worker health), queried by ``repro obs``.
+* :mod:`repro.obs.profile` — the ``--profile`` sampling stack profiler
+  (flamegraph-ready collapsed stacks, merged from pool workers).
+* :mod:`repro.obs.regress` — cross-run comparison and the regression
+  gate behind ``repro obs compare`` / ``repro obs regressions``.
 * :mod:`repro.obs.session` — :class:`ObsSession`, the CLI glue tying
   the above to ``--trace`` / ``--metrics-out`` / ``--manifest`` /
-  ``--progress``.
+  ``--profile`` / ``--progress`` and the ledger.
 * :mod:`repro.obs.validate` — schema checks for all emitted artefacts
   (``python -m repro.obs.validate FILE...``).
 
@@ -42,8 +49,24 @@ from .metrics import (
     register_collector,
     reset_metrics,
 )
+from .profile import (
+    StackSampler,
+    current_sampler,
+    disable_profiling,
+    enable_profiling,
+    is_profiling,
+    top_functions,
+)
 from .progress import ProgressReporter
 from .session import ObsSession
+from .store import (
+    LEDGER_SCHEMA_VERSION,
+    LedgerStore,
+    RunRecord,
+    default_ledger_path,
+    ledger_enabled,
+    open_ledger,
+)
 from .trace import (
     NULL_SPAN,
     Tracer,
@@ -59,29 +82,41 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "LEDGER_SCHEMA_VERSION",
+    "LedgerStore",
     "MetricsRegistry",
     "NULL_SPAN",
     "ObsSession",
     "ProgressReporter",
     "RunManifest",
+    "RunRecord",
+    "StackSampler",
     "Tracer",
     "collect_manifest",
     "configure_metrics",
     "counter",
+    "current_sampler",
     "current_tracer",
+    "default_ledger_path",
     "diff_snapshots",
+    "disable_profiling",
     "disable_tracing",
+    "enable_profiling",
     "enable_tracing",
     "gauge",
     "git_revision",
     "global_registry",
     "histogram",
     "is_enabled",
+    "is_profiling",
+    "ledger_enabled",
     "merge_snapshot",
     "metrics_snapshot",
+    "open_ledger",
     "register_collector",
     "reset_metrics",
     "span",
+    "top_functions",
     "tracing",
     "validate_manifest",
 ]

@@ -1,0 +1,252 @@
+"""Cross-run comparison: metric + quality diffs and regression gates.
+
+Works over :class:`~repro.obs.store.RunRecord` rows from the telemetry
+ledger.  :func:`compare_runs` produces a structured diff between a
+baseline and a candidate run — wall clock, selected performance
+counters, and the per-policy-point quality figures (error rate, area,
+literals, ...) the paper's tables are built from.  Each differing value
+is judged against a tolerance, and anything that *worsened* beyond it
+becomes a named regression, so ``repro obs regressions`` (and the CI
+``obs-regression-gate`` job) can fail with a message like
+``quality error_rate [bench ranking 0.5 power]: 0.0123 -> 0.0456``
+instead of a bare exit code.
+
+Directionality: every compared figure here is lower-is-better (wall
+seconds, error rate, area, delay, power, gates, literals), so only
+increases count as regressions; improvements are reported in the diff
+but never fail the gate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from .store import RunRecord
+
+__all__ = [
+    "DEFAULT_QUALITY_TOLERANCE",
+    "DEFAULT_WALL_TOLERANCE",
+    "Comparison",
+    "Regression",
+    "compare_runs",
+    "format_comparison",
+    "quality_key",
+]
+
+DEFAULT_WALL_TOLERANCE = 0.15
+"""Relative wall-clock slack: a candidate may be up to 15% slower than
+the baseline before the gate fails — below the ≥20% drift the gate is
+specified to catch, above machine-to-machine noise on the short
+benchmark runs CI compares."""
+
+DEFAULT_QUALITY_TOLERANCE = 1e-6
+"""Relative slack on quality figures.  Synthesis results are
+deterministic for a fixed seed, so any measurable worsening of error
+rate / area / literals is a real regression; the epsilon only absorbs
+float-serialisation jitter."""
+
+MIN_WALL_SECONDS = 0.05
+"""Runs faster than this are not wall-compared: at sub-50ms scale the
+interpreter's own noise floor exceeds any honest tolerance."""
+
+QUALITY_FIELDS = (
+    "error_rate", "area", "delay", "power", "gates", "literals",
+)
+"""Per-point figures compared between runs — all lower-is-better."""
+
+
+@dataclass
+class Regression:
+    """One figure that worsened beyond its tolerance."""
+
+    kind: str  # "wall" | "quality" | "missing"
+    name: str
+    baseline: float | None
+    candidate: float | None
+    tolerance: float
+
+    @property
+    def ratio(self) -> float | None:
+        if self.baseline and self.candidate is not None:
+            return self.candidate / self.baseline
+        return None
+
+    def describe(self) -> str:
+        if self.kind == "missing":
+            return f"missing {self.name}: present in baseline, absent in candidate"
+        ratio = self.ratio
+        ratio_text = f" ({ratio:.2f}x)" if ratio is not None else ""
+        return (
+            f"{self.kind} {self.name}: {self.baseline:.6g} -> "
+            f"{self.candidate:.6g}{ratio_text} exceeds tolerance "
+            f"{self.tolerance:.0%}"
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "name": self.name,
+            "baseline": self.baseline,
+            "candidate": self.candidate,
+            "ratio": self.ratio,
+            "tolerance": self.tolerance,
+        }
+
+
+@dataclass
+class Comparison:
+    """The full diff between a baseline and a candidate run."""
+
+    baseline_id: str
+    candidate_id: str
+    wall: dict[str, Any] = field(default_factory=dict)
+    quality: list[dict[str, Any]] = field(default_factory=list)
+    regressions: list[Regression] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "baseline": self.baseline_id,
+            "candidate": self.candidate_id,
+            "ok": self.ok,
+            "wall": self.wall,
+            "quality": self.quality,
+            "regressions": [r.to_dict() for r in self.regressions],
+        }
+
+
+def quality_key(point: dict[str, Any]) -> tuple:
+    """The identity of one quality point across runs.
+
+    Two runs' points are comparable when they measured the same
+    benchmark with the same policy at the same parameter for the same
+    objective — the row key of the paper's tables.
+    """
+    return (
+        point.get("benchmark"),
+        point.get("policy"),
+        point.get("parameter"),
+        point.get("objective"),
+    )
+
+
+def _worsened(baseline: float, candidate: float, tolerance: float) -> bool:
+    """True when *candidate* exceeds *baseline* beyond the relative
+    *tolerance* (with a tiny absolute epsilon for zero baselines)."""
+    allowed = baseline * (1.0 + tolerance) + 1e-12
+    return candidate > allowed
+
+
+def compare_runs(
+    baseline: RunRecord,
+    candidate: RunRecord,
+    *,
+    wall_tolerance: float = DEFAULT_WALL_TOLERANCE,
+    quality_tolerance: float = DEFAULT_QUALITY_TOLERANCE,
+) -> Comparison:
+    """Diff two ledger rows; collect tolerance-exceeding regressions.
+
+    Wall clock is compared when both runs recorded a duration above
+    :data:`MIN_WALL_SECONDS`.  Quality points are matched by
+    :func:`quality_key`; a point the baseline measured that the
+    candidate did not is itself a regression (coverage must not shrink
+    silently), while extra candidate points are ignored.
+    """
+    comparison = Comparison(
+        baseline_id=baseline.run_id, candidate_id=candidate.run_id
+    )
+
+    base_wall = baseline.duration_seconds
+    cand_wall = candidate.duration_seconds
+    if base_wall is not None and cand_wall is not None:
+        comparison.wall = {
+            "baseline_seconds": base_wall,
+            "candidate_seconds": cand_wall,
+            "ratio": (cand_wall / base_wall) if base_wall else None,
+            "tolerance": wall_tolerance,
+        }
+        if base_wall >= MIN_WALL_SECONDS and _worsened(
+            base_wall, cand_wall, wall_tolerance
+        ):
+            comparison.regressions.append(Regression(
+                kind="wall",
+                name="duration_seconds",
+                baseline=base_wall,
+                candidate=cand_wall,
+                tolerance=wall_tolerance,
+            ))
+
+    candidate_points = {quality_key(p): p for p in candidate.quality}
+    for base_point in baseline.quality:
+        key = quality_key(base_point)
+        label = " ".join(str(part) for part in key)
+        cand_point = candidate_points.get(key)
+        if cand_point is None:
+            comparison.regressions.append(Regression(
+                kind="missing",
+                name=f"quality point [{label}]",
+                baseline=None,
+                candidate=None,
+                tolerance=quality_tolerance,
+            ))
+            continue
+        entry: dict[str, Any] = {"key": list(key)}
+        for fld in QUALITY_FIELDS:
+            base_value = base_point.get(fld)
+            cand_value = cand_point.get(fld)
+            if base_value is None or cand_value is None:
+                continue
+            base_value = float(base_value)
+            cand_value = float(cand_value)
+            entry[fld] = {
+                "baseline": base_value,
+                "candidate": cand_value,
+                "delta": cand_value - base_value,
+            }
+            if _worsened(base_value, cand_value, quality_tolerance):
+                comparison.regressions.append(Regression(
+                    kind="quality",
+                    name=f"{fld} [{label}]",
+                    baseline=base_value,
+                    candidate=cand_value,
+                    tolerance=quality_tolerance,
+                ))
+        comparison.quality.append(entry)
+    return comparison
+
+
+def format_comparison(comparison: Comparison) -> str:
+    """A human-readable multi-line rendering of a :class:`Comparison`."""
+    lines = [
+        f"baseline  {comparison.baseline_id}",
+        f"candidate {comparison.candidate_id}",
+    ]
+    wall = comparison.wall
+    if wall:
+        ratio = wall.get("ratio")
+        ratio_text = f" ({ratio:.2f}x)" if ratio else ""
+        lines.append(
+            f"wall: {wall['baseline_seconds']:.3f}s -> "
+            f"{wall['candidate_seconds']:.3f}s{ratio_text}"
+        )
+    changed = 0
+    for entry in comparison.quality:
+        for fld in QUALITY_FIELDS:
+            cell = entry.get(fld)
+            if cell and cell["delta"]:
+                changed += 1
+    lines.append(
+        f"quality: {len(comparison.quality)} matched point(s), "
+        f"{changed} changed figure(s)"
+    )
+    if comparison.regressions:
+        lines.append(f"REGRESSIONS ({len(comparison.regressions)}):")
+        for regression in comparison.regressions:
+            lines.append(f"  - {regression.describe()}")
+    else:
+        lines.append("no regressions beyond tolerance")
+    return "\n".join(lines)

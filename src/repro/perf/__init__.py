@@ -22,20 +22,24 @@ from .cache import (
 )
 from .pool import (
     WarmPool,
+    WorkerHealth,
     WorkerTaskError,
     available_cpus,
     configure_pool,
     executor_config,
     get_pool,
+    health_snapshot,
     pool_enabled,
     resolve_jobs,
     shutdown_pool,
+    stall_threshold_seconds,
 )
 
 __all__ = [
     "CacheStats",
     "MinimizationCache",
     "WarmPool",
+    "WorkerHealth",
     "WorkerTaskError",
     "available_cpus",
     "cache_stats",
@@ -46,10 +50,12 @@ __all__ = [
     "executor_config",
     "get_pool",
     "global_cache",
+    "health_snapshot",
     "pool_enabled",
     "reset_cache",
     "resolve_jobs",
     "shutdown_pool",
     "spec_key",
     "stage_key",
+    "stall_threshold_seconds",
 ]

@@ -36,6 +36,7 @@ from __future__ import annotations
 
 import json
 import os
+import time
 from pathlib import Path
 from typing import Any, Sequence
 
@@ -234,8 +235,18 @@ class Pipeline:
                             ctx.set(out_key, value)
                     obs_metrics.counter("pipeline.stages_skipped").inc()
                 else:
+                    # Per-stage wall time is a metric, not just a span
+                    # attribute, so the telemetry ledger gets stage
+                    # timings from every run — tracing stays opt-in.
+                    stage_start = time.perf_counter()
                     with span("pipeline.stage", stage=stage.name, cached=False):
                         stage.run(ctx)
+                    obs_metrics.counter(
+                        f"pipeline.stage_seconds.{stage.name}"
+                    ).inc(time.perf_counter() - stage_start)
+                    obs_metrics.counter(
+                        f"pipeline.stage_runs.{stage.name}"
+                    ).inc()
                     obs_metrics.counter("pipeline.stages_run").inc()
                     if self.checkpoint is not None:
                         self.checkpoint.store(

@@ -1,0 +1,14 @@
+"""Shared fixtures for the whole suite."""
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _isolated_ledger(tmp_path, monkeypatch):
+    """Point the telemetry ledger at a per-test temporary file.
+
+    Many tests drive ``repro.cli.main`` in-process from the repository
+    working directory; without this, every such call would append to a
+    real ``.repro/ledger.sqlite`` in the source tree.
+    """
+    monkeypatch.setenv("REPRO_LEDGER_PATH", str(tmp_path / "ledger.sqlite"))

@@ -1,0 +1,101 @@
+"""Tests for the sampling profiler (repro.obs.profile)."""
+
+import time
+
+import pytest
+
+from repro.obs import profile as obs_profile
+from repro.obs.profile import StackSampler, top_functions
+
+
+@pytest.fixture(autouse=True)
+def _no_global_sampler():
+    """Profiler module state must not leak between tests."""
+    obs_profile.disable_profiling()
+    yield
+    obs_profile.disable_profiling()
+
+
+def _busy_loop(deadline: float) -> int:
+    total = 0
+    while time.perf_counter() < deadline:
+        total += sum(range(200))
+    return total
+
+
+class TestStackSampler:
+    def test_samples_the_calling_thread(self):
+        sampler = StackSampler(interval=0.001).start()
+        _busy_loop(time.perf_counter() + 0.2)
+        counts = sampler.stop()
+        assert sampler.samples > 0
+        assert counts
+        joined = "\n".join(counts)
+        assert "_busy_loop" in joined
+
+    def test_stop_is_idempotent_and_start_restarts(self):
+        sampler = StackSampler(interval=0.001).start()
+        sampler.stop()
+        first = sampler.samples
+        sampler.stop()
+        assert sampler.samples == first
+        sampler.start()
+        _busy_loop(time.perf_counter() + 0.05)
+        sampler.stop()
+        assert sampler.samples >= first
+
+    def test_merge_accumulates(self):
+        sampler = StackSampler()
+        sampler.merge({"a;b": 3, "a;c": 2})
+        sampler.merge({"a;b": 1})
+        assert sampler.counts == {"a;b": 4, "a;c": 2}
+        assert sampler.samples == 6
+
+    def test_folded_lines_and_write(self, tmp_path):
+        sampler = StackSampler()
+        sampler.merge({"mod:f;mod:g": 5, "mod:f": 2})
+        assert sampler.folded_lines() == ["mod:f 2", "mod:f;mod:g 5"]
+        out = tmp_path / "out.folded"
+        sampler.write_folded(out)
+        assert out.read_text().splitlines() == ["mod:f 2", "mod:f;mod:g 5"]
+
+    def test_summary_shape(self):
+        sampler = StackSampler()
+        sampler.merge({"m:a;m:b": 4})
+        summary = sampler.summary(top=5)
+        assert summary["samples"] == 4
+        assert summary["distinct_stacks"] == 1
+        assert summary["top"][0]["function"] == "m:b"
+
+
+class TestTopFunctions:
+    def test_self_vs_total(self):
+        counts = {"a;b": 10, "a;c": 5, "a": 1}
+        table = {row["function"]: row for row in top_functions(counts)}
+        # 'a' is on every stack (total=16) but a leaf only once (self=1).
+        assert table["a"]["total_samples"] == 16
+        assert table["a"]["self_samples"] == 1
+        assert table["b"]["self_samples"] == 10
+        assert table["b"]["total_samples"] == 10
+
+    def test_recursive_stack_counted_once(self):
+        # The same function twice in one stack contributes its count once.
+        assert top_functions({"f;f": 7})[0]["total_samples"] == 7
+
+    def test_limit(self):
+        counts = {f"fn{i}": 1 for i in range(30)}
+        assert len(top_functions(counts, limit=10)) == 10
+
+
+class TestModuleState:
+    def test_enable_disable(self):
+        assert not obs_profile.is_profiling()
+        sampler = obs_profile.enable_profiling(interval=0.001)
+        assert obs_profile.is_profiling()
+        assert obs_profile.current_sampler() is sampler
+        assert obs_profile.enable_profiling() is sampler  # idempotent
+        _busy_loop(time.perf_counter() + 0.05)
+        counts = obs_profile.disable_profiling()
+        assert not obs_profile.is_profiling()
+        assert counts  # captured something while busy
+        assert obs_profile.disable_profiling() == {}  # idempotent

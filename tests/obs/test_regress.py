@@ -1,0 +1,133 @@
+"""Tests for cross-run comparison and regression gating (repro.obs.regress)."""
+
+from repro.obs.regress import (
+    DEFAULT_WALL_TOLERANCE,
+    compare_runs,
+    format_comparison,
+    quality_key,
+)
+from repro.obs.store import RunRecord
+
+
+def _run(run_id="run-a", duration=1.0, quality=None):
+    return RunRecord(
+        run_id=run_id,
+        created_at="2026-08-08T00:00:00Z",
+        command="sweep",
+        duration_seconds=duration,
+        quality=quality if quality is not None else [_point()],
+    )
+
+
+def _point(**overrides):
+    point = {
+        "benchmark": "bench", "policy": "ranking", "parameter": 0.5,
+        "objective": "area", "error_rate": 0.02, "area": 70.0,
+        "delay": 1.1, "power": 2.2, "gates": 30, "literals": 69,
+    }
+    point.update(overrides)
+    return point
+
+
+class TestEqualRuns:
+    def test_identical_runs_pass(self):
+        comparison = compare_runs(_run(), _run(run_id="run-b"))
+        assert comparison.ok
+        assert comparison.regressions == []
+        assert "no regressions" in format_comparison(comparison)
+
+    def test_small_noise_within_tolerance_passes(self):
+        baseline = _run(duration=1.0)
+        candidate = _run(run_id="run-b",
+                         duration=1.0 + 0.5 * DEFAULT_WALL_TOLERANCE)
+        assert compare_runs(baseline, candidate).ok
+
+
+class TestWallClock:
+    def test_twenty_percent_slowdown_fails_with_named_metric(self):
+        comparison = compare_runs(
+            _run(duration=1.0), _run(run_id="run-b", duration=1.25)
+        )
+        assert not comparison.ok
+        (regression,) = comparison.regressions
+        assert regression.kind == "wall"
+        assert regression.name == "duration_seconds"
+        assert "duration_seconds" in format_comparison(comparison)
+
+    def test_speedup_never_fails(self):
+        assert compare_runs(
+            _run(duration=1.0), _run(run_id="run-b", duration=0.3)
+        ).ok
+
+    def test_sub_noise_floor_durations_not_compared(self):
+        # 10ms -> 40ms is 4x but under the noise floor: not judged.
+        assert compare_runs(
+            _run(duration=0.010), _run(run_id="run-b", duration=0.040)
+        ).ok
+
+    def test_custom_tolerance(self):
+        baseline = _run(duration=1.0)
+        candidate = _run(run_id="run-b", duration=1.25)
+        assert compare_runs(baseline, candidate, wall_tolerance=0.5).ok
+
+
+class TestQuality:
+    def test_error_rate_regression_fails_with_named_metric(self):
+        baseline = _run(quality=[_point()])
+        candidate = _run(run_id="run-b",
+                         quality=[_point(error_rate=0.09)])
+        comparison = compare_runs(baseline, candidate)
+        assert not comparison.ok
+        (regression,) = comparison.regressions
+        assert regression.kind == "quality"
+        assert regression.name.startswith("error_rate")
+        assert "bench ranking 0.5 area" in regression.name
+
+    def test_area_and_literal_regressions_each_named(self):
+        baseline = _run(quality=[_point()])
+        candidate = _run(run_id="run-b",
+                         quality=[_point(area=90.0, literals=100)])
+        names = {r.name.split(" ")[0]
+                 for r in compare_runs(baseline, candidate).regressions}
+        assert names == {"area", "literals"}
+
+    def test_improvement_never_fails(self):
+        baseline = _run(quality=[_point()])
+        candidate = _run(run_id="run-b",
+                         quality=[_point(error_rate=0.001, area=50.0)])
+        assert compare_runs(baseline, candidate).ok
+
+    def test_missing_point_is_a_regression(self):
+        baseline = _run(quality=[_point(), _point(parameter=1.0)])
+        candidate = _run(run_id="run-b", quality=[_point()])
+        comparison = compare_runs(baseline, candidate)
+        assert not comparison.ok
+        (regression,) = comparison.regressions
+        assert regression.kind == "missing"
+
+    def test_extra_candidate_points_ignored(self):
+        baseline = _run(quality=[_point()])
+        candidate = _run(run_id="run-b",
+                         quality=[_point(), _point(parameter=0.75)])
+        assert compare_runs(baseline, candidate).ok
+
+    def test_points_matched_by_key_not_order(self):
+        a, b = _point(parameter=0.25), _point(parameter=0.75)
+        baseline = _run(quality=[a, b])
+        candidate = _run(run_id="run-b", quality=[b, a])
+        assert compare_runs(baseline, candidate).ok
+
+    def test_quality_key(self):
+        assert quality_key(_point()) == ("bench", "ranking", 0.5, "area")
+
+
+class TestReport:
+    def test_to_dict_round_trips(self):
+        comparison = compare_runs(
+            _run(duration=1.0), _run(run_id="run-b", duration=2.0)
+        )
+        data = comparison.to_dict()
+        assert data["ok"] is False
+        assert data["baseline"] == "run-a"
+        assert data["regressions"][0]["kind"] == "wall"
+        assert data["regressions"][0]["ratio"] == 2.0

@@ -1,0 +1,154 @@
+"""Worker health, stall detection and profile merging in the warm pool."""
+
+import time
+
+import pytest
+
+from repro.obs import metrics as obs_metrics
+from repro.obs import profile as obs_profile
+from repro.perf import get_pool, shutdown_pool
+from repro.perf.pool import (
+    DEFAULT_STALL_SECONDS,
+    WorkerHealth,
+    health_snapshot,
+    stall_threshold_seconds,
+)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_pool():
+    shutdown_pool()
+    obs_profile.disable_profiling()
+    yield
+    obs_profile.disable_profiling()
+    shutdown_pool()
+
+
+# Worker-side callables must be module-level to pickle.
+
+
+def _identity(x: int) -> int:
+    return x
+
+
+def _sleepy(task) -> int:
+    index, seconds = task
+    time.sleep(seconds)
+    return index
+
+
+def _spin(seconds: float) -> int:
+    total = 0
+    deadline = time.perf_counter() + seconds
+    while time.perf_counter() < deadline:
+        total += sum(range(100))
+    return total
+
+
+class _Progress:
+    """A progress callable that records the notes the pool attaches."""
+
+    def __init__(self):
+        self.calls = []
+        self.notes = []
+
+    def __call__(self, done, total=None):
+        self.calls.append((done, total))
+
+    def set_note(self, note):
+        self.notes.append(note)
+
+
+class TestStallThreshold:
+    def test_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_POOL_STALL_SECONDS", raising=False)
+        assert stall_threshold_seconds() == DEFAULT_STALL_SECONDS
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_POOL_STALL_SECONDS", "2.5")
+        assert stall_threshold_seconds() == 2.5
+
+    def test_bad_values_fall_back(self, monkeypatch):
+        monkeypatch.setenv("REPRO_POOL_STALL_SECONDS", "banana")
+        assert stall_threshold_seconds() == DEFAULT_STALL_SECONDS
+        monkeypatch.setenv("REPRO_POOL_STALL_SECONDS", "-1")
+        assert stall_threshold_seconds() == DEFAULT_STALL_SECONDS
+
+
+class TestWorkerHealth:
+    def test_to_dict_shape(self):
+        entry = WorkerHealth(pid=42, rss_bytes=1000, tasks_done=3)
+        data = entry.to_dict()
+        assert data["pid"] == 42
+        assert data["rss_bytes"] == 1000
+        assert data["stalled"] is False
+        assert data["stall_count"] == 0
+
+    def test_health_snapshot_none_without_pool(self):
+        assert health_snapshot() is None
+
+    def test_result_health_updates_gauges(self):
+        pool = get_pool(2)
+        assert pool.map(_identity, list(range(8))) == list(range(8))
+        assert pool.health  # every chunk result carries worker health
+        snapshot = obs_metrics.metrics_snapshot()
+        pids = list(pool.health)
+        for pid in pids:
+            assert snapshot[f"pool.worker.{pid}.last_seen"]["value"] > 0
+            assert snapshot[f"pool.worker.{pid}.tasks_done"]["type"] == "gauge"
+        report = health_snapshot()
+        assert report is not None
+        assert {w["pid"] for w in report["workers"]} == set(pids)
+        assert report["stall_events"] == []
+
+
+class TestStallDetection:
+    def test_injected_stall_detected_without_hanging(self, monkeypatch):
+        monkeypatch.setenv("REPRO_POOL_STALL_SECONDS", "0.3")
+        stalls_before = obs_metrics.counter("pool.worker_stalls").value
+        pool = get_pool(2)
+        progress = _Progress()
+        # One task sleeps well past the threshold; the detector must
+        # flag it while the map still completes with correct results.
+        tasks = [(0, 1.6), (1, 0.0), (2, 0.0), (3, 0.0)]
+        start = time.perf_counter()
+        results = pool.map(_sleepy, tasks, progress=progress)
+        elapsed = time.perf_counter() - start
+        assert results == [0, 1, 2, 3]
+        assert elapsed < 10  # finished, did not hang
+        assert pool.stall_events, "stall was not detected"
+        event = pool.stall_events[0]
+        assert event["busy_seconds"] >= 0.3
+        assert event["threshold_seconds"] == 0.3
+        assert obs_metrics.counter("pool.worker_stalls").value > stalls_before
+        # Surfaced on the progress line...
+        stall_notes = [n for n in progress.notes if n and "stalled" in n]
+        assert stall_notes, f"no stall note in {progress.notes!r}"
+        # ...and cleared once the worker recovered.
+        assert not any(entry.stalled for entry in pool.health.values())
+        # The ledger-facing snapshot carries the event.
+        report = health_snapshot()
+        assert report["stall_events"] == pool.stall_events
+        assert any(w["stall_count"] >= 1 for w in report["workers"])
+
+    def test_fast_map_records_no_stalls(self, monkeypatch):
+        monkeypatch.setenv("REPRO_POOL_STALL_SECONDS", "5.0")
+        pool = get_pool(2)
+        assert pool.map(_identity, list(range(16))) == list(range(16))
+        assert pool.stall_events == []
+
+
+class TestProfileMerging:
+    def test_worker_samples_merged_into_parent(self):
+        sampler = obs_profile.enable_profiling(interval=0.002)
+        pool = get_pool(2)
+        pool.map(_spin, [0.4, 0.4])
+        counts = obs_profile.disable_profiling()
+        joined = "\n".join(counts)
+        assert "_spin" in joined, "no worker frames in merged profile"
+        assert sampler.samples > 0
+
+    def test_unprofiled_map_ships_no_samples(self):
+        pool = get_pool(2)
+        pool.map(_spin, [0.05, 0.05])
+        assert obs_profile.current_sampler() is None
