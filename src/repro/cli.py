@@ -257,6 +257,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
 def _cmd_nodal(args: argparse.Namespace) -> int:
     from .espresso.minimize import minimize_spec
+    from .synth.flexibility import reassign_complete_dcs
     from .synth.network import LogicNetwork
     from .synth.odc import reassign_internal_dcs
     from .synth.optimize import optimize_network
@@ -270,16 +271,34 @@ def _cmd_nodal(args: argparse.Namespace) -> int:
     optimize_network(network)
     if args.renode:
         network = renode(network, args.k)
-    report = reassign_internal_dcs(
-        network, policy=args.policy, threshold=args.threshold
-    )
-    rows = [
-        ["nodes", len(network.nodes)],
-        ["nodes rewritten", report.nodes_changed],
-        ["internal DCs assigned", report.dc_entries_assigned],
-        ["internal error before", report.error_rate_before],
-        ["internal error after", report.error_rate_after],
-    ]
+    rows: list[list] = [["nodes", len(network.nodes)]]
+    if args.sat:
+        report = reassign_complete_dcs(
+            network,
+            policy=args.policy,
+            threshold=args.threshold,
+            window_levels=args.dc_window,
+        )
+        rows += [
+            ["nodes rewritten", report.nodes_changed],
+            ["internal DCs assigned", report.dc_entries_assigned],
+            ["complete DC minterms", report.complete_dc_minterms],
+            ["window DC minterms", report.window_dc_minterms],
+            ["DC delta (complete - window)", report.dc_delta],
+            ["SAT fallback nodes", report.sat_fallback_nodes],
+            ["internal error before", report.error_rate_before],
+            ["internal error after", report.error_rate_after],
+        ]
+    else:
+        report = reassign_internal_dcs(
+            network, policy=args.policy, threshold=args.threshold
+        )
+        rows += [
+            ["nodes rewritten", report.nodes_changed],
+            ["internal DCs assigned", report.dc_entries_assigned],
+            ["internal error before", report.error_rate_before],
+            ["internal error after", report.error_rate_after],
+        ]
     print(format_table(["metric", "value"], rows, precision=4))
     return 0
 
@@ -294,6 +313,29 @@ def _cmd_export(args: argparse.Namespace) -> int:
     for path in paths:
         print(f"wrote {path}")
     return 0
+
+
+def _with_complete_dc_stage(config: dict) -> dict:
+    """A copy of *config* with the ``complete_dc`` stage enabled.
+
+    Inserted after ``optimize`` (before ``map`` when there is no
+    optimise stage); a config that already lists the stage is returned
+    unchanged.
+    """
+    def entry_name(entry) -> str:
+        return entry if isinstance(entry, str) else entry.get("stage", "")
+
+    stages = list(config.get("stages") or [])
+    names = [entry_name(entry) for entry in stages]
+    if "complete_dc" in names:
+        return config
+    if "optimize" in names:
+        stages.insert(names.index("optimize") + 1, "complete_dc")
+    elif "map" in names:
+        stages.insert(names.index("map"), "complete_dc")
+    else:
+        stages.append("complete_dc")
+    return {**config, "stages": stages}
 
 
 def _cmd_pipeline_run(args: argparse.Namespace) -> int:
@@ -314,6 +356,8 @@ def _cmd_pipeline_run(args: argparse.Namespace) -> int:
             threshold=args.threshold,
             objective=args.objective,
         )
+    if getattr(args, "complete_dc", False):
+        config = _with_complete_dc_stage(config)
     checkpoint = (
         CheckpointStore(args.checkpoint_dir) if args.checkpoint_dir else None
     )
@@ -331,6 +375,13 @@ def _cmd_pipeline_run(args: argparse.Namespace) -> int:
         "stages_skipped": stages_skipped,
         "artifacts": ctx.keys(),
     }
+    if "complete_dc_report" in ctx:
+        summary["complete_dc"] = {
+            key: (None if isinstance(value, float) and value != value else value)
+            for key, value in dataclasses.asdict(
+                ctx.get("complete_dc_report")
+            ).items()
+        }
     if "synthesis" in ctx and "assignment" in ctx:
         result = flow_result(ctx)
         session = getattr(args, "_obs_session", None)
@@ -371,17 +422,16 @@ def _cmd_pipeline_run(args: argparse.Namespace) -> int:
 
 def _cmd_pipeline_stages(args: argparse.Namespace) -> int:
     from .flows.report import format_table
-    from .pipeline import registered_stages
+    from .pipeline import describe_stage, registered_stages
 
     stages = registered_stages()
     if args.json:
         print(json.dumps(
             {
                 name: {
-                    "inputs": list(stage.inputs),
-                    "outputs": list(stage.outputs),
-                    "params": list(stage.params),
-                    "version": stage.version,
+                    key: value
+                    for key, value in describe_stage(stage).items()
+                    if key != "name"
                 }
                 for name, stage in stages.items()
             },
@@ -696,6 +746,10 @@ def _build_parser() -> argparse.ArgumentParser:
     p_pipe_run.add_argument("--stop-after", default=None, metavar="STAGE",
                             help="stop after the named stage (checkpoints up "
                                  "to it are kept)")
+    p_pipe_run.add_argument("--complete-dc", action="store_true",
+                            dest="complete_dc",
+                            help="insert the SAT-complete don't-care stage "
+                                 "after optimize (primary outputs preserved)")
     p_pipe_run.add_argument("--json", action="store_true",
                             help="machine-readable result + pipeline summary")
     p_pipe_run.set_defaults(func=_cmd_pipeline_run)
@@ -780,6 +834,12 @@ def _build_parser() -> argparse.ArgumentParser:
     p_nodal.add_argument("--renode", action="store_true",
                          help="repartition into k-feasible nodes first")
     p_nodal.add_argument("--k", type=int, default=6, help="renode fanin bound")
+    p_nodal.add_argument("--sat", action="store_true",
+                         help="use the SAT-complete extractor "
+                              "(simulation-propose / SAT-confirm)")
+    p_nodal.add_argument("--dc-window", type=int, default=2, dest="dc_window",
+                         help="window depth for the window-limited "
+                              "baseline/fallback extractor")
     p_nodal.set_defaults(func=_cmd_nodal)
 
     p_export = add_parser("export", help="write figure/table data as CSV")

@@ -28,6 +28,7 @@ from .context import ARTIFACT_KEYS, FlowContext
 from .pipeline import DEFAULT_STAGES, Pipeline, default_config, load_config
 from .stage import (
     Stage,
+    describe_stage,
     get_stage,
     register_stage,
     registered_stages,
@@ -51,6 +52,7 @@ __all__ = [
     "Stage",
     "apply_policy",
     "default_config",
+    "describe_stage",
     "get_stage",
     "load_config",
     "register_stage",

@@ -33,6 +33,7 @@ def _artifact_types() -> dict[str, type]:
     from ..espresso.minimize import MinimizedFunction
     from ..flows.experiment import FlowResult
     from ..synth.compile_ import SynthesisResult
+    from ..synth.flexibility import CompleteDcReport
     from ..synth.netlist import MappedNetlist
     from ..synth.network import LogicNetwork
 
@@ -43,6 +44,7 @@ def _artifact_types() -> dict[str, type]:
         "covers": MinimizedFunction,
         "network": LogicNetwork,
         "netlist": MappedNetlist,
+        "complete_dc_report": CompleteDcReport,
         "implemented": FunctionSpec,
         "synthesis": SynthesisResult,
         "result": FlowResult,
@@ -56,6 +58,7 @@ ARTIFACT_KEYS: dict[str, str] = {
     "covers": "MinimizedFunction — per-output ESPRESSO covers",
     "network": "LogicNetwork — the multi-level technology-independent network",
     "netlist": "MappedNetlist — the mapped gate-level netlist",
+    "complete_dc_report": "CompleteDcReport — SAT-complete DC stage metrics",
     "implemented": "FunctionSpec — the function the netlist realises",
     "synthesis": "SynthesisResult — area/delay/power/error measurements",
     "result": "FlowResult — one experiment data point",

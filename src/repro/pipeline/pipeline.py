@@ -45,7 +45,7 @@ from ..obs import span
 from ..perf.cache import stage_key
 from .checkpoint import CheckpointStore
 from .context import FlowContext
-from .stage import Stage, get_stage, params_fingerprint
+from .stage import Stage, describe_stage, get_stage, params_fingerprint
 
 __all__ = [
     "DEFAULT_STAGES",
@@ -272,17 +272,9 @@ class Pipeline:
     # ------------------------------------------------------------ describe
 
     def describe(self) -> list[dict[str, Any]]:
-        """One dict per stage (name, inputs, outputs, params, version)."""
-        return [
-            {
-                "name": stage.name,
-                "inputs": list(stage.inputs),
-                "outputs": list(stage.outputs),
-                "params": list(stage.params),
-                "version": stage.version,
-            }
-            for stage in self.stages
-        ]
+        """One dict per stage (name, inputs, outputs, params, version,
+        summary)."""
+        return [describe_stage(stage) for stage in self.stages]
 
 
 def default_config(

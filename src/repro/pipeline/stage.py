@@ -21,6 +21,7 @@ from .context import FlowContext
 
 __all__ = [
     "Stage",
+    "describe_stage",
     "get_stage",
     "params_fingerprint",
     "register_stage",
@@ -108,6 +109,28 @@ def register_stage(cls: type[_S]) -> type[_S]:
         )
     _REGISTRY[stage.name] = stage
     return cls
+
+
+def describe_stage(stage: Stage) -> dict[str, Any]:
+    """One JSON-ready dict describing *stage*.
+
+    Carries the declared interface (name, inputs, outputs, params,
+    version) plus ``summary`` — the first line of the stage class's
+    docstring — so registry listings (``repro pipeline stages``,
+    ``Pipeline.describe``) are self-documenting.  Parameter overlays are
+    unwrapped to the underlying stage for the docstring.
+    """
+    target = getattr(stage, "_stage", stage)
+    doc = (type(target).__doc__ or "").strip()
+    summary = doc.splitlines()[0].strip() if doc else ""
+    return {
+        "name": stage.name,
+        "inputs": list(stage.inputs),
+        "outputs": list(stage.outputs),
+        "params": list(stage.params),
+        "version": stage.version,
+        "summary": summary,
+    }
 
 
 def get_stage(name: str) -> Stage:

@@ -13,6 +13,14 @@ Six stages reproduce the fixed recipe that used to be hard-coded across
 ``optimize``
     Technology-independent multi-level optimisation (disable with the
     ``optimize=False`` flow parameter).
+``complete_dc`` (opt-in; not part of the default recipe)
+    SAT-complete internal don't-care reassignment of the network —
+    simulation proposes per-node DC candidates, shared-solver SAT
+    queries confirm them exactly, and the chosen policy re-decides the
+    confirmed flexibility (see
+    :func:`repro.synth.flexibility.reassign_complete_dcs`).  Inserted
+    between ``optimize`` and ``map``; primary outputs are verified
+    unchanged, so downstream results stay functionally identical.
 ``map``
     Subject-graph construction and area-driven tree covering against
     the cell library.
@@ -30,6 +38,8 @@ these stages into a pipeline (see :mod:`repro.pipeline.pipeline`).
 """
 
 from __future__ import annotations
+
+import numpy as np
 
 from ..core.assignment import Assignment
 from ..core.cfactor import DEFAULT_THRESHOLD, cfactor_assignment
@@ -55,6 +65,7 @@ __all__ = [
     "AssignStage",
     "EspressoStage",
     "OptimizeStage",
+    "CompleteDcStage",
     "MapStage",
     "TuneStage",
     "MeasureStage",
@@ -170,6 +181,71 @@ class OptimizeStage:
             with span("synth.optimize", nodes=len(network.nodes)):
                 optimize_network(network)
         ctx.set("network", network)
+
+
+@register_stage
+class CompleteDcStage:
+    """SAT-complete internal-DC reassignment of ``network`` (opt-in).
+
+    Not part of :data:`~repro.pipeline.pipeline.DEFAULT_STAGES` — enable
+    it by listing ``complete_dc`` between ``optimize`` and ``map`` in a
+    pipeline config (or ``repro pipeline run --complete-dc``).  Per node
+    it proposes DC candidates from random simulation, confirms them
+    exactly with shared-solver SAT queries, applies the ``dc_policy``
+    assignment and rebuilds the cover; nodes exhausting the query or
+    conflict budget fall back to the window-limited extractor.  Primary
+    outputs are verified unchanged (packed compare per rewrite plus a
+    final SAT miter), so every downstream artefact stays functionally
+    identical and the stage can be toggled without invalidating results.
+
+    Emits ``sat.*`` / ``complete_dc.*`` counters (queries,
+    confirmations, refutations, fallbacks, per-stage DC deltas against
+    the window baseline) and a ``complete_dc_report`` artefact.
+    """
+
+    name = "complete_dc"
+    inputs = ("network",)
+    outputs = ("network", "complete_dc_report")
+    params = (
+        "complete_dc",
+        "dc_policy",
+        "dc_threshold",
+        "dc_fraction",
+        "dc_max_fanins",
+        "dc_vectors",
+        "dc_query_budget",
+        "dc_conflict_budget",
+        "dc_window",
+        "dc_seed",
+    )
+    version = "1"
+
+    def run(self, ctx: FlowContext) -> None:
+        from ..synth.flexibility import CompleteDcReport, reassign_complete_dcs
+
+        network = ctx.require("network")
+        if not ctx.param("complete_dc", True):
+            ctx.set("network", network)
+            ctx.set(
+                "complete_dc_report",
+                CompleteDcReport(0, 0, 0, 0, 0, 0, 0, float("nan"), float("nan")),
+            )
+            return
+        with span("pipeline.complete_dc", nodes=len(network.nodes)):
+            report = reassign_complete_dcs(
+                network,
+                policy=ctx.param("dc_policy", "cfactor"),
+                threshold=ctx.param("dc_threshold", DEFAULT_THRESHOLD),
+                fraction=ctx.param("dc_fraction", 1.0),
+                max_fanins=ctx.param("dc_max_fanins", 10),
+                simulation_vectors=ctx.param("dc_vectors", 256),
+                query_budget=ctx.param("dc_query_budget", 256),
+                conflict_budget=ctx.param("dc_conflict_budget", 10_000),
+                window_levels=ctx.param("dc_window", 2),
+                rng=np.random.default_rng(ctx.param("dc_seed", 0)),
+            )
+        ctx.set("network", network)
+        ctx.set("complete_dc_report", report)
 
 
 @register_stage

@@ -82,6 +82,16 @@ class CnfBuilder:
         self.add_clause([out, -a, b])
         self.add_clause([out, a, -b])
 
+    def encode_or(self, out: int, literals) -> None:
+        """``out <-> OR(literals)`` over raw CNF variables.
+
+        With no literals the output is constrained to false.
+        """
+        literals = [int(l) for l in literals]
+        for literal in literals:
+            self.add_clause([-literal, out])
+        self.add_clause([-out, *literals])
+
 
 def encode_network(builder: CnfBuilder, network: LogicNetwork, prefix: str = "") -> None:
     """Encode every node of *network*; signal ``s`` maps to ``prefix+s``.

@@ -13,15 +13,38 @@ The solver implements:
 * two-watched-literal unit propagation,
 * conflict-driven backtracking with simple clause learning
   (first-unique-implication-point resolution),
-* VSIDS-lite decision ordering (bump-on-conflict activity).
+* VSIDS-lite decision ordering (bump-on-conflict activity),
+* sound incremental solving under assumptions, with an optional
+  per-call conflict budget.
+
+Incremental soundness
+---------------------
+
+Learned clauses persist in ``self.clauses`` across :meth:`SatSolver.solve`
+calls, so the derivation of every learned clause must only use the
+*permanent* clause database — never the call-local assumptions.  The
+solver guarantees this the MiniSat way: each assumption literal opens its
+**own decision level** (level ``i`` for assumption ``i``), so 1-UIP
+analysis keeps assumption literals inside the learned clause (only true
+level-0 literals — unit clauses, themselves permanent — are dropped).  A
+clause learned under ``solve(assumptions=[a])`` therefore reads
+``(not a) or ...`` and stays valid for a later call assuming ``not a``.
+
+An earlier revision enqueued assumptions at level 0, which made
+``analyze`` silently drop them from learned clauses; a clause learned
+under one assumption set could then make a later call with contradictory
+assumptions wrongly UNSAT (see ``tests/sat/test_solver.py::
+TestAssumptionSoundness`` for the minimal reproduction).
 """
 
 from __future__ import annotations
 
-__all__ = ["SatSolver", "Satisfiable", "Unsatisfiable"]
+__all__ = ["SatSolver", "Satisfiable", "Unsatisfiable", "Unknown"]
 
 Satisfiable = True
 Unsatisfiable = False
+Unknown = None
+"""Returned by :meth:`SatSolver.solve` when ``max_conflicts`` ran out."""
 
 
 class SatSolver:
@@ -66,19 +89,36 @@ class SatSolver:
 
     # --------------------------------------------------------------- solving
 
-    def solve(self, assumptions=()) -> tuple[bool, dict[int, bool]]:
+    def solve(
+        self, assumptions=(), *, max_conflicts: int | None = None
+    ) -> tuple[bool | None, dict[int, bool]]:
         """Decide satisfiability.
 
         Args:
-            assumptions: literals forced true for this call.
+            assumptions: literals forced true for this call.  Each opens
+                its own decision level, so clauses learned under
+                assumptions remain sound for later calls (see the module
+                docstring).
+            max_conflicts: optional conflict budget; when exhausted the
+                call gives up and returns :data:`Unknown` (``None``) —
+                any clauses learned so far are kept and remain sound.
 
         Returns:
-            ``(True, model)`` with a full assignment, or ``(False, {})``.
+            ``(True, model)`` with a full assignment, ``(False, {})``
+            when unsatisfiable under the assumptions, or ``(None, {})``
+            when the conflict budget ran out.
         """
+        assumption_literals = [int(l) for l in assumptions]
+        if any(l == 0 for l in assumption_literals):
+            raise ValueError("literal 0 is not allowed as an assumption")
+        for literal in assumption_literals:
+            self.num_vars = max(self.num_vars, abs(literal))
+
         assign: dict[int, bool] = {}
         trail: list[tuple[int, int | None]] = []  # (literal, reason clause)
         level_of: dict[int, int] = {}
         decisions: list[int] = []  # trail indices at each decision level
+        conflicts = 0
 
         def value(literal: int) -> bool | None:
             polarity = assign.get(abs(literal))
@@ -135,7 +175,13 @@ class SatSolver:
             return None
 
         def analyze(conflict_index: int) -> tuple[list[int], int]:
-            """1-UIP conflict analysis -> (learned clause, backjump level)."""
+            """1-UIP conflict analysis -> (learned clause, backjump level).
+
+            Level-0 literals are dropped: they are implied by permanent
+            unit clauses, so omitting them keeps the learned clause both
+            correct and strictly stronger.  Assumption literals live at
+            levels >= 1 and are therefore always kept.
+            """
             current_level = len(decisions)
             seen: set[int] = set()
             learned: list[int] = []
@@ -182,36 +228,54 @@ class SatSolver:
                     del assign[abs(literal)]
                     del level_of[abs(literal)]
 
-        for literal in list(self._units) + [int(l) for l in assumptions]:
+        # Level 0 holds exactly the permanent unit clauses.
+        for literal in self._units:
             if not enqueue(int(literal), None):
                 return Unsatisfiable, {}
         if propagate() is not None:
             return Unsatisfiable, {}
 
         while True:
-            if len(assign) == self.num_vars:
+            if len(decisions) < len(assumption_literals):
+                # Establish the next assumption on its own decision level.
+                literal = assumption_literals[len(decisions)]
+                current = value(literal)
+                if current is False:
+                    return Unsatisfiable, {}
+                decisions.append(len(trail))
+                if current is None:
+                    enqueue(literal, None)
+            elif len(assign) >= self.num_vars:
                 model = {v: assign.get(v, False) for v in range(1, self.num_vars + 1)}
                 return Satisfiable, model
-            # Decide: highest-activity unassigned variable.
-            decision = 0
-            best = -1.0
-            for variable in range(1, self.num_vars + 1):
-                if variable not in assign:
-                    activity = self._activity.get(variable, 0.0)
-                    if activity > best:
-                        best = activity
-                        decision = variable
-            decisions.append(len(trail))
-            enqueue(decision, None)
+            else:
+                # Decide: highest-activity unassigned variable.
+                decision = 0
+                best = -1.0
+                for variable in range(1, self.num_vars + 1):
+                    if variable not in assign:
+                        activity = self._activity.get(variable, 0.0)
+                        if activity > best:
+                            best = activity
+                            decision = variable
+                decisions.append(len(trail))
+                enqueue(decision, None)
             while True:
                 conflict = propagate()
                 if conflict is None:
                     break
                 if not decisions:
                     return Unsatisfiable, {}
+                conflicts += 1
+                if max_conflicts is not None and conflicts > max_conflicts:
+                    return Unknown, {}
                 learned, back_level = analyze(conflict)
                 backtrack(back_level)
                 if len(learned) == 1:
+                    # A learned unit is derived from permanent clauses
+                    # only, so it may (and should) persist like any other
+                    # unit clause.
+                    self._units.append(learned[0])
                     if not enqueue(learned[0], None):
                         return Unsatisfiable, {}
                 else:

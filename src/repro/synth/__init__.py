@@ -9,7 +9,12 @@ power analysis, an AIG optimiser, and internal-DC (ODC) extraction.
 
 from .compile_ import SynthesisResult, compile_network, compile_spec
 from .factor import And, Expr, Lit, Or, expr_literals, good_factor
-from .flexibility import node_flexibility_sat
+from .flexibility import (
+    CompleteDcReport,
+    CompleteFlexibilityOracle,
+    node_flexibility_sat,
+    reassign_complete_dcs,
+)
 from .kernels import algebraic_divide, cover_to_cubes, cubes_to_cover, kernels
 from .library import Cell, Library, generic_70nm_library
 from .mapping import map_graph
@@ -33,6 +38,9 @@ __all__ = [
     "expr_literals",
     "good_factor",
     "node_flexibility_sat",
+    "CompleteDcReport",
+    "CompleteFlexibilityOracle",
+    "reassign_complete_dcs",
     "algebraic_divide",
     "cover_to_cubes",
     "cubes_to_cover",

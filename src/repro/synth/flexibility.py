@@ -4,15 +4,28 @@
 primary-input space — exact, but limited to ~20 inputs.  This module
 implements the scalable alternative the paper cites (Mishchenko et al.,
 "Using simulation and satisfiability to compute flexibilities in Boolean
-networks"): random simulation proposes don't-care candidates, and SAT
-queries confirm them exactly:
+networks"; Mishchenko & Brayton, "SAT-based complete don't-care
+computation for network optimization"): random simulation proposes
+don't-care candidates, and SAT queries confirm them exactly:
 
 * a fanin pattern never observed under simulation is an **SDC candidate**;
   a SAT query for "some PI vector produces this pattern" refutes or
   confirms it;
 * a pattern whose observed vectors never propagated a node flip is an
   **ODC candidate**; a miter query ("some PI vector produces the pattern
-  *and* flipping the node changes a PO") decides it exactly.
+  *and* flipping the node changes a PO") decides it exactly;
+* a pattern for which simulation already shows an observable flip is a
+  confirmed *care* with no query at all — simulation refutes the
+  candidate before SAT sees it.
+
+:class:`CompleteFlexibilityOracle` runs this for every node of a network
+against **one shared CNF encoding** (sound to reuse across queries since
+the solver keeps assumption-derived learned clauses conditional — see
+:mod:`repro.sat.solver`), with a per-node query budget and a per-query
+conflict budget; :func:`reassign_complete_dcs` is the full rewrite pass
+behind the ``complete_dc`` pipeline stage, falling back to the
+window-limited extractor (:func:`repro.synth.odc.node_flexibility` with
+``window_levels``) when a node exhausts its budgets.
 
 The result is the same local :class:`~repro.core.spec.FunctionSpec` that
 the exhaustive path produces, computed without ever enumerating ``2^n``
@@ -21,24 +34,47 @@ vectors.
 
 from __future__ import annotations
 
+import copy
+from dataclasses import dataclass
+
 import numpy as np
 
+from ..core.cfactor import DEFAULT_THRESHOLD, cfactor_assignment
+from ..core.ranking import ranking_assignment
 from ..core.spec import FunctionSpec
 from ..core.truthtable import DC, OFF, ON
-from ..sat.encode import CnfBuilder, encode_network
-from ..sim import engine as sim_engine
-from ..sim import packed as sim_packed
+from ..espresso.cube import Cover
+from ..espresso.minimize import espresso
+from ..obs import metrics as obs_metrics
+from ..obs import span
+from ..sat.encode import CnfBuilder, encode_network, networks_equivalent
+from ..sim import packed as pk
+from ..sim.incremental import IncrementalNetworkSim
 from .network import LogicNetwork
+from .odc import MAX_EXHAUSTIVE_FANINS, internal_error_rate, node_flexibility
 
-__all__ = ["node_flexibility_sat"]
+__all__ = [
+    "node_flexibility_sat",
+    "CompleteFlexibilityOracle",
+    "CompleteDcReport",
+    "reassign_complete_dcs",
+]
+
+_FULL_SIM_MAX_PIS = 20
+"""PI count up to which the pass keeps a full-space exhaustive simulator
+for the per-rewrite output self-check and the window-limited baseline;
+beyond it only the final miter check and the SAT path remain."""
 
 
 def _encode_flip_copy(
-    builder: CnfBuilder, network: LogicNetwork, node_name: str
+    builder: CnfBuilder,
+    network: LogicNetwork,
+    node_name: str,
+    prefix: str = "F_",
 ) -> None:
     """Encode a second copy of the fanout cone of *node_name* with the
-    node's value complemented (prefix ``F_``); PIs and cone-external
-    signals are shared with the primary (``N_``-prefixed) encoding."""
+    node's value complemented (*prefix*); PIs and cone-external signals
+    are shared with the primary (``N_``-prefixed) encoding."""
     fanouts = network.fanouts()
     cone: set[str] = set()
     stack = [node_name]
@@ -54,12 +90,12 @@ def _encode_flip_copy(
 
     def flipped_name(signal: str) -> str:
         if signal == node_name or signal in cone:
-            return "F_" + signal
+            return prefix + signal
         return primary_name(signal)
 
     # The flipped node value: F_node <-> not N_node.
     original = builder.var("N_" + node_name)
-    flipped = builder.var("F_" + node_name)
+    flipped = builder.var(prefix + node_name)
     builder.add_clause([original, flipped])
     builder.add_clause([-original, -flipped])
     for name in network.topological_order():
@@ -68,6 +104,208 @@ def _encode_flip_copy(
         node = network.nodes[name]
         builder.encode_sop(
             flipped_name(name), [flipped_name(f) for f in node.fanins], node.cover
+        )
+
+
+class CompleteFlexibilityOracle:
+    """Per-node complete flexibility via one shared incremental encoding.
+
+    One ``N_``-prefixed CNF copy of the network is built lazily and
+    shared by every node's queries; each queried node adds a private
+    flipped cone (``F<i>_`` prefix) plus a PO-difference indicator to the
+    same solver, so learned clauses accumulate across nodes.  A random
+    packed simulation (also shared) pre-classifies patterns so SAT only
+    sees genuine candidates.
+
+    After a node's cover is rewritten, call :meth:`notify_rewrite` — the
+    encoding is discarded and rebuilt on the next query while the random
+    simulation is refreshed incrementally.
+
+    Attributes:
+        network: the analysed network (rewrites allowed between queries
+            when announced via :meth:`notify_rewrite`).
+        query_budget: max SAT queries per node (``None`` = unlimited);
+            exhausting it makes :meth:`node_flexibility` return ``None``.
+        conflict_budget: per-query solver conflict cap (``None`` =
+            unlimited); an inconclusive query also returns ``None``.
+    """
+
+    def __init__(
+        self,
+        network: LogicNetwork,
+        *,
+        simulation_vectors: int = 256,
+        rng: np.random.Generator | None = None,
+        query_budget: int | None = None,
+        conflict_budget: int | None = None,
+    ) -> None:
+        self.network = network
+        self.simulation_vectors = simulation_vectors
+        self.query_budget = query_budget
+        self.conflict_budget = conflict_budget
+        rng = rng or np.random.default_rng(0)
+        vectors = (
+            rng.random((simulation_vectors, len(network.primary_inputs))) < 0.5
+        )
+        self.sim = IncrementalNetworkSim(
+            network, pk.pack_matrix(vectors), simulation_vectors
+        )
+        self._builder: CnfBuilder | None = None
+        self._flip_prefix: dict[str, str] = {}
+        self._any_diff: dict[str, int] = {}
+        self._flip_count = 0
+
+    # ------------------------------------------------------------- lifecycle
+
+    def notify_rewrite(self, node_name: str) -> None:
+        """Announce that *node_name*'s cover changed: drop the stale CNF
+        encoding and refresh the node's simulation cone in place."""
+        self._builder = None
+        self._flip_prefix.clear()
+        self._any_diff.clear()
+        self.sim.recompute(node_name)
+
+    # -------------------------------------------------------------- encoding
+
+    def _ensure_builder(self) -> CnfBuilder:
+        if self._builder is None:
+            self._builder = CnfBuilder()
+            encode_network(self._builder, self.network, prefix="N_")
+        return self._builder
+
+    def _signal_var(self, builder: CnfBuilder, signal: str) -> int:
+        if signal in self.network.primary_inputs:
+            return builder.var(signal)
+        return builder.var("N_" + signal)
+
+    def _ensure_flip(self, node_name: str) -> int:
+        """Encode the node's flipped cone (once) -> the any-PO-differs var."""
+        cached = self._any_diff.get(node_name)
+        if cached is not None:
+            return cached
+        builder = self._ensure_builder()
+        self._flip_count += 1
+        prefix = f"F{self._flip_count}_"
+        self._flip_prefix[node_name] = prefix
+        _encode_flip_copy(builder, self.network, node_name, prefix=prefix)
+
+        fanouts = self.network.fanouts()
+        cone: set[str] = {node_name}
+        stack = [node_name]
+        while stack:
+            current = stack.pop()
+            for reader in fanouts.get(current, []):
+                if reader not in cone:
+                    cone.add(reader)
+                    stack.append(reader)
+        difference_vars = []
+        for signal in self.network.outputs.values():
+            if signal not in cone:
+                continue  # this PO cannot change; skip
+            left = self._signal_var(builder, signal)
+            right = builder.var(prefix + signal)
+            diff = builder.solver.new_var()
+            builder.encode_xor(diff, left, right)
+            difference_vars.append(diff)
+        any_diff = builder.solver.new_var()
+        builder.encode_or(any_diff, difference_vars)
+        self._any_diff[node_name] = any_diff
+        return any_diff
+
+    # --------------------------------------------------------------- queries
+
+    def _solve(self, assumptions) -> bool | None:
+        obs_metrics.counter("sat.queries").inc()
+        sat, _ = self._ensure_builder().solver.solve(
+            assumptions, max_conflicts=self.conflict_budget
+        )
+        return sat
+
+    def node_flexibility(self, node_name: str) -> FunctionSpec | None:
+        """The node's complete local flexibility, or ``None`` on budget
+        exhaustion (callers fall back to a window-limited extraction).
+
+        Raises:
+            ValueError: for nodes wider than
+                :data:`~repro.synth.odc.MAX_EXHAUSTIVE_FANINS`.
+        """
+        node = self.network.nodes[node_name]
+        k = len(node.fanins)
+        if k > MAX_EXHAUSTIVE_FANINS:
+            raise ValueError(
+                f"node {node_name!r} has {k} fanins; local flexibility "
+                f"enumerates 2^k patterns and is capped at "
+                f"{MAX_EXHAUSTIVE_FANINS} fanins"
+            )
+
+        # --- Simulation phase: observed patterns and sim-proven cares.
+        masks = pk.pattern_masks(
+            [self.sim.values[fanin] for fanin in node.fanins],
+            self.simulation_vectors,
+        )
+        observed = np.any(masks != 0, axis=1)
+        flip_diff = self.sim.flip_difference(node_name)
+        sim_care = np.any(masks & flip_diff, axis=1)
+
+        # --- SAT phase: shared encoding, assumptions per pattern query.
+        builder = self._ensure_builder()
+        any_diff = self._ensure_flip(node_name)
+        queries_used = 0
+
+        local_table = node.cover.evaluate()
+        phases = np.full(1 << k, DC, dtype=np.uint8)
+        for local_pattern in range(1 << k):
+            if sim_care[local_pattern]:
+                # Simulation exhibited an observable flip: the DC
+                # candidate is refuted without touching the solver.
+                phases[local_pattern] = (
+                    ON if local_table[local_pattern] else OFF
+                )
+                continue
+            pattern_assumptions = []
+            for position, fanin in enumerate(node.fanins):
+                variable = self._signal_var(builder, fanin)
+                bit = (local_pattern >> position) & 1
+                pattern_assumptions.append(variable if bit else -variable)
+            if not observed[local_pattern]:
+                # SDC candidate: is the pattern reachable at all?
+                if (
+                    self.query_budget is not None
+                    and queries_used >= self.query_budget
+                ):
+                    obs_metrics.counter("sat.fallbacks").inc()
+                    return None
+                queries_used += 1
+                reachable = self._solve(pattern_assumptions)
+                if reachable is None:
+                    obs_metrics.counter("sat.fallbacks").inc()
+                    return None
+                if not reachable:
+                    obs_metrics.counter("sat.confirmations").inc()
+                    continue  # confirmed SDC
+                obs_metrics.counter("sat.refutations").inc()
+            # Reachable: is the node observable under this pattern?
+            if (
+                self.query_budget is not None
+                and queries_used >= self.query_budget
+            ):
+                obs_metrics.counter("sat.fallbacks").inc()
+                return None
+            queries_used += 1
+            observable = self._solve(pattern_assumptions + [any_diff])
+            if observable is None:
+                obs_metrics.counter("sat.fallbacks").inc()
+                return None
+            if not observable:
+                obs_metrics.counter("sat.confirmations").inc()
+                continue  # confirmed ODC
+            obs_metrics.counter("sat.refutations").inc()
+            phases[local_pattern] = ON if local_table[local_pattern] else OFF
+        return FunctionSpec(
+            phases[None, :],
+            name=f"{node_name}/local-sat",
+            input_names=tuple(node.fanins),
+            output_names=(node_name,),
         )
 
 
@@ -83,6 +321,10 @@ def node_flexibility_sat(
     Produces the same single-output spec over the node's fanins as
     :func:`repro.synth.odc.node_flexibility` (without external DCs), but
     scales to networks whose primary-input space cannot be enumerated.
+    One-shot convenience front-end for
+    :class:`CompleteFlexibilityOracle` (unbudgeted, so never ``None``);
+    sweeping many nodes through one oracle instance amortises the
+    network encoding and the learned clauses.
 
     Args:
         network: the network.
@@ -93,77 +335,197 @@ def node_flexibility_sat(
 
     Raises:
         KeyError: for unknown node names.
+        ValueError: for nodes wider than
+            :data:`~repro.synth.odc.MAX_EXHAUSTIVE_FANINS`.
     """
-    node = network.nodes[node_name]
-    k = len(node.fanins)
-    rng = rng or np.random.default_rng(0)
-
-    # --- Simulation phase (packed): observe which fanin patterns occur.
-    num_pis = len(network.primary_inputs)
-    vectors = rng.random((simulation_vectors, num_pis)) < 0.5
-    values = sim_engine.network_values(
-        network, sim_packed.pack_matrix(vectors), simulation_vectors
+    oracle = CompleteFlexibilityOracle(
+        network, simulation_vectors=simulation_vectors, rng=rng
     )
-    masks = sim_packed.pattern_masks(
-        [values[fanin] for fanin in node.fanins], simulation_vectors
+    spec = oracle.node_flexibility(node_name)
+    assert spec is not None  # unbudgeted oracles always conclude
+    return spec
+
+
+@dataclass(frozen=True)
+class CompleteDcReport:
+    """Result of a SAT-complete internal-DC reassignment pass.
+
+    Attributes:
+        nodes_considered: nodes examined (wide nodes excluded).
+        nodes_changed: nodes whose cover was rebuilt.
+        dc_entries_assigned: local DC minterms decided for reliability.
+        complete_dc_minterms: DC minterms confirmed by the complete
+            extractor, totalled over the examined nodes.
+        window_dc_minterms: DC minterms the window-limited baseline finds
+            on the same nodes (0 when no baseline simulator fits).
+        dc_delta: ``complete_dc_minterms - window_dc_minterms`` (the
+            flexibility the SAT stage adds over the window extractor).
+        sat_fallback_nodes: nodes that exhausted their budgets and used
+            the window-limited extraction instead.
+        error_rate_before / error_rate_after: internal error rates
+            (``nan`` when the PI space is too large to simulate).
+    """
+
+    nodes_considered: int
+    nodes_changed: int
+    dc_entries_assigned: int
+    complete_dc_minterms: int
+    window_dc_minterms: int
+    dc_delta: int
+    sat_fallback_nodes: int
+    error_rate_before: float
+    error_rate_after: float
+
+
+def reassign_complete_dcs(
+    network: LogicNetwork,
+    *,
+    policy: str = "cfactor",
+    threshold: float = DEFAULT_THRESHOLD,
+    fraction: float = 1.0,
+    max_fanins: int = 10,
+    simulation_vectors: int = 256,
+    query_budget: int | None = 256,
+    conflict_budget: int | None = 10_000,
+    window_levels: int = 2,
+    rng: np.random.Generator | None = None,
+) -> CompleteDcReport:
+    """Reassign every node's *complete* internal DCs for reliability.
+
+    The SAT-backed sibling of
+    :func:`repro.synth.odc.reassign_internal_dcs` and the engine of the
+    ``complete_dc`` pipeline stage: per node, simulation proposes DC
+    candidates, shared-solver SAT queries confirm them exactly, the
+    chosen policy assigns the confirmed flexibility, and ESPRESSO
+    rebuilds the cover.  Nodes are processed one at a time in
+    topological order and the oracle re-synchronised after each rewrite,
+    so later nodes see flexibilities consistent with earlier decisions.
+
+    A node that exhausts *query_budget* or *conflict_budget* falls back
+    to the window-limited extractor (depth *window_levels*) when the PI
+    space is small enough to simulate, else it is left untouched.  The
+    same window extraction also provides the per-node baseline DC count
+    recorded in the report and the ``complete_dc.*`` counters.
+
+    Primary outputs are verified unchanged after every rewrite (packed
+    compare when the PI space is enumerable) and once more at the end
+    with a SAT miter against a pristine copy.
+
+    Args:
+        network: network to rewrite (mutated).
+        policy: ``"cfactor"`` (Fig. 7) or ``"ranking"`` (Fig. 3).
+        threshold: LC^f threshold for the cfactor policy.
+        fraction: fraction of the ranked list for the ranking policy.
+        max_fanins: skip (with ``complete_dc.wide_nodes_skipped``) nodes
+            with more fanins than this.
+        simulation_vectors: random vectors for candidate proposal.
+        query_budget: max SAT queries per node (``None`` = unlimited).
+        conflict_budget: per-query conflict cap (``None`` = unlimited).
+        window_levels: fanout-window depth of the fallback extractor.
+        rng: random generator for the simulation phase.
+
+    Raises:
+        ValueError: on unknown policies, or if a rewrite changes the
+            primary outputs (which would indicate an ODC or solver bug).
+    """
+    if policy not in ("cfactor", "ranking"):
+        raise ValueError(f"unknown policy {policy!r}")
+    pristine = copy.deepcopy(network)
+    full_sim: IncrementalNetworkSim | None = None
+    reference = None
+    if len(network.primary_inputs) <= _FULL_SIM_MAX_PIS:
+        full_sim = IncrementalNetworkSim(network)
+        reference = full_sim.output_words().copy()
+    before = (
+        internal_error_rate(network, sim=full_sim)
+        if full_sim is not None
+        else float("nan")
     )
-    observed = np.any(masks != 0, axis=1)
-
-    # --- SAT phase: one base encoding, assumptions per pattern query.
-    builder = CnfBuilder()
-    encode_network(builder, network, prefix="N_")
-    _encode_flip_copy(builder, network, node_name)
-
-    def signal_var(signal: str, prefix: str) -> int:
-        if signal in network.primary_inputs:
-            return builder.var(signal)
-        return builder.var(prefix + signal)
-
-    # Difference indicator over the primary outputs.
-    fanouts = network.fanouts()
-    cone: set[str] = {node_name}
-    stack = [node_name]
-    while stack:
-        current = stack.pop()
-        for reader in fanouts.get(current, []):
-            if reader not in cone:
-                cone.add(reader)
-                stack.append(reader)
-    difference_vars = []
-    for out_name, signal in network.outputs.items():
-        if signal not in cone:
-            continue  # this PO cannot change; skip
-        left = signal_var(signal, "N_")
-        right = builder.var("F_" + signal)
-        diff = builder.solver.new_var()
-        builder.encode_xor(diff, left, right)
-        difference_vars.append(diff)
-    any_diff = builder.solver.new_var()
-    for diff in difference_vars:
-        builder.add_clause([-diff, any_diff])
-    builder.add_clause([-any_diff] + difference_vars if difference_vars else [-any_diff])
-
-    local_table = node.cover.evaluate()
-    phases = np.full(1 << k, DC, dtype=np.uint8)
-    for local_pattern in range(1 << k):
-        pattern_assumptions = []
-        for position, fanin in enumerate(node.fanins):
-            variable = signal_var(fanin, "N_")
-            bit = (local_pattern >> position) & 1
-            pattern_assumptions.append(variable if bit else -variable)
-        if not observed[local_pattern]:
-            # SDC candidate: is the pattern reachable at all?
-            reachable, _ = builder.solver.solve(pattern_assumptions)
-            if not reachable:
-                continue  # confirmed SDC
-        # Reachable: is the node observable under this pattern?
-        observable, _ = builder.solver.solve(pattern_assumptions + [any_diff])
-        if not observable:
-            continue  # confirmed ODC
-        phases[local_pattern] = ON if local_table[local_pattern] else OFF
-    return FunctionSpec(
-        phases[None, :],
-        name=f"{node_name}/local-sat",
-        input_names=tuple(node.fanins),
-        output_names=(node_name,),
+    oracle = CompleteFlexibilityOracle(
+        network,
+        simulation_vectors=simulation_vectors,
+        rng=rng,
+        query_budget=query_budget,
+        conflict_budget=conflict_budget,
+    )
+    considered = 0
+    changed = 0
+    assigned_total = 0
+    complete_minterms = 0
+    window_minterms = 0
+    fallback_nodes = 0
+    with span(
+        "flexibility.reassign_complete",
+        nodes=len(network.nodes),
+        policy=policy,
+    ):
+        for name in list(network.topological_order()):
+            node = network.nodes[name]
+            if len(node.fanins) > max_fanins:
+                obs_metrics.counter("complete_dc.wide_nodes_skipped").inc()
+                continue
+            considered += 1
+            local = oracle.node_flexibility(name)
+            if local is None:
+                fallback_nodes += 1
+                if full_sim is None:
+                    continue  # no sound fallback without full simulation
+                local = node_flexibility(
+                    network, name, sim=full_sim, window_levels=window_levels
+                )
+            local_dcs = int(np.count_nonzero(local.phases == DC))
+            complete_minterms += local_dcs
+            if full_sim is not None:
+                window_local = node_flexibility(
+                    network, name, sim=full_sim, window_levels=window_levels
+                )
+                window_minterms += int(
+                    np.count_nonzero(window_local.phases == DC)
+                )
+            if not local_dcs:
+                continue
+            if policy == "cfactor":
+                assignment = cfactor_assignment(local, threshold)
+            else:
+                assignment = ranking_assignment(local, fraction)
+            assigned = assignment.apply(local) if len(assignment) else local
+            on_cover = Cover.from_minterms(len(node.fanins), assigned.on_set(0))
+            dc_cover = Cover.from_minterms(len(node.fanins), assigned.dc_set(0))
+            node.cover = espresso(on_cover, dc_cover)
+            changed += 1
+            assigned_total += len(assignment)
+            oracle.notify_rewrite(name)
+            if full_sim is not None:
+                full_sim.recompute(name)
+                if not bool(np.array_equal(full_sim.output_words(), reference)):
+                    raise ValueError(
+                        f"rewriting node {name!r} changed the primary outputs"
+                    )
+        if not networks_equivalent(pristine, network):
+            raise ValueError(
+                "complete-DC reassignment changed the primary outputs "
+                "(SAT miter check)"
+            )
+        after = (
+            internal_error_rate(network, sim=full_sim)
+            if full_sim is not None
+            else float("nan")
+        )
+    delta = complete_minterms - window_minterms
+    obs_metrics.counter("complete_dc.nodes").inc(considered)
+    obs_metrics.counter("complete_dc.nodes_changed").inc(changed)
+    obs_metrics.counter("complete_dc.dc_minterms").inc(complete_minterms)
+    obs_metrics.counter("complete_dc.window_dc_minterms").inc(window_minterms)
+    obs_metrics.counter("complete_dc.dc_delta").inc(delta)
+    obs_metrics.counter("complete_dc.fallback_nodes").inc(fallback_nodes)
+    return CompleteDcReport(
+        nodes_considered=considered,
+        nodes_changed=changed,
+        dc_entries_assigned=assigned_total,
+        complete_dc_minterms=complete_minterms,
+        window_dc_minterms=window_minterms,
+        dc_delta=delta,
+        sat_fallback_nodes=fallback_nodes,
+        error_rate_before=before,
+        error_rate_after=after,
     )

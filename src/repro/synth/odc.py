@@ -38,17 +38,31 @@ from ..core.spec import FunctionSpec
 from ..core.truthtable import DC, OFF, ON
 from ..espresso.cube import Cover
 from ..espresso.minimize import espresso
+from ..obs import metrics as obs_metrics
 from ..obs import span
 from ..sim import packed as pk
+from ..sim.engine import eval_node
 from ..sim.incremental import IncrementalNetworkSim
 from .network import LogicNetwork
 
 __all__ = [
+    "MAX_EXHAUSTIVE_FANINS",
     "node_flexibility",
     "internal_error_rate",
     "reassign_internal_dcs",
     "NodalReport",
 ]
+
+MAX_EXHAUSTIVE_FANINS = 16
+"""Hard cap on node fanin count for local-flexibility extraction.
+
+Every extractor materialises the node's ``2^k`` local pattern space (the
+``phases`` array of the returned :class:`FunctionSpec`), so a wide node
+would silently allocate gigabytes before failing.  Extraction raises a
+:class:`ValueError` above this cap instead; callers that sweep whole
+networks (:func:`reassign_internal_dcs`) route or skip such nodes
+explicitly (``wide_nodes=``).
+"""
 
 
 def _evaluate_with_flip(
@@ -77,6 +91,56 @@ def _evaluate_with_flip(
     return np.vstack([patched[sig] for sig in network.outputs.values()])
 
 
+def _window_observability(
+    network: LogicNetwork,
+    node_name: str,
+    sim: IncrementalNetworkSim,
+    window_levels: int,
+) -> np.ndarray:
+    """OR-reduced packed flip-diff at a k-level fanout-window boundary.
+
+    The window is the BFS fanout neighbourhood of *node_name* up to
+    *window_levels* levels deep; observation points are the window
+    signals that are primary outputs or feed a reader outside the
+    window.  Every path from the node to a primary output crosses an
+    observation point, so a vector under which no observation point
+    changes cannot change any PO — window-limited ODCs are a sound
+    subset of the complete ones.
+    """
+    if window_levels < 1:
+        raise ValueError(f"window_levels must be >= 1, got {window_levels}")
+    fanouts = network.fanouts()
+    window = {node_name}
+    frontier = [node_name]
+    for _ in range(window_levels):
+        grown: list[str] = []
+        for signal in frontier:
+            for reader in fanouts.get(signal, []):
+                if reader not in window:
+                    window.add(reader)
+                    grown.append(reader)
+        frontier = grown
+    po_signals = set(network.outputs.values())
+    observation = [
+        signal
+        for signal in window
+        if signal in po_signals
+        or any(reader not in window for reader in fanouts.get(signal, []))
+    ]
+    position = {name: i for i, name in enumerate(network.topological_order())}
+    patched: dict[str, np.ndarray] = {
+        node_name: pk.zero_tail(~sim.values[node_name], sim.num_vectors)
+    }
+    for name in sorted(window - {node_name}, key=position.__getitem__):
+        node = network.nodes[name]
+        fanin_words = [patched.get(f, sim.values[f]) for f in node.fanins]
+        patched[name] = eval_node(node.cover, fanin_words, sim.num_vectors)
+    observable = np.zeros(sim.num_words, dtype=np.uint64)
+    for signal in observation:
+        observable |= patched[signal] ^ sim.values[signal]
+    return observable
+
+
 def node_flexibility(
     network: LogicNetwork,
     node_name: str,
@@ -84,6 +148,7 @@ def node_flexibility(
     values: dict[str, np.ndarray] | None = None,
     external_dc: np.ndarray | None = None,
     sim: IncrementalNetworkSim | None = None,
+    window_levels: int | None = None,
 ) -> FunctionSpec:
     """The node's local incompletely specified function over its fanins.
 
@@ -99,11 +164,23 @@ def node_flexibility(
             into a packed simulator for reuse).
         external_dc: boolean array (num_outputs, 2**num_PIs) marking
             externally-DC (output, vector) entries that never matter.
+            Ignored in window mode (conservative).
         sim: a live :class:`IncrementalNetworkSim` for the network
             (optional, for reuse across nodes — the cheap path).
+        window_levels: when given, judge observability at the boundary
+            of a fanout window this many levels deep instead of at the
+            primary outputs.  Cheaper on deep networks and the fallback
+            used by the ``complete_dc`` stage on SAT-budget exhaustion;
+            the resulting DC set is a subset of the complete one.
 
     Returns:
         A single-output :class:`FunctionSpec` over the node's fanins.
+
+    Raises:
+        ValueError: when the node has more than
+            :data:`MAX_EXHAUSTIVE_FANINS` fanins (the ``2^k`` local
+            pattern space would not be materialisable), or when
+            *window_levels* is given but < 1.
     """
     if sim is None:
         sim = (
@@ -113,12 +190,21 @@ def node_flexibility(
         )
     node = network.nodes[node_name]
     k = len(node.fanins)
+    if k > MAX_EXHAUSTIVE_FANINS:
+        raise ValueError(
+            f"node {node_name!r} has {k} fanins; local flexibility "
+            f"enumerates 2^k patterns and is capped at "
+            f"{MAX_EXHAUSTIVE_FANINS} fanins"
+        )
     num_vectors = sim.num_vectors
 
-    diff = sim.output_words() ^ sim.flip_outputs(node_name)
-    if external_dc is not None:
-        diff &= ~pk.pack_matrix(np.asarray(external_dc, dtype=bool).T)
-    observable = np.bitwise_or.reduce(diff, axis=0)
+    if window_levels is not None:
+        observable = _window_observability(network, node_name, sim, window_levels)
+    else:
+        diff = sim.output_words() ^ sim.flip_outputs(node_name)
+        if external_dc is not None:
+            diff &= ~pk.pack_matrix(np.asarray(external_dc, dtype=bool).T)
+        observable = np.bitwise_or.reduce(diff, axis=0)
 
     masks = pk.pattern_masks([sim.values[f] for f in node.fanins], num_vectors)
     cares = np.any(masks & observable, axis=1)
@@ -199,6 +285,7 @@ def reassign_internal_dcs(
     threshold: float = DEFAULT_THRESHOLD,
     fraction: float = 1.0,
     max_fanins: int = 10,
+    wide_nodes: str = "skip",
 ) -> NodalReport:
     """Reassign every node's internal DCs for reliability (in place).
 
@@ -219,14 +306,23 @@ def reassign_internal_dcs(
         policy: ``"cfactor"`` (Fig. 7) or ``"ranking"`` (Fig. 3).
         threshold: LC^f threshold for the cfactor policy.
         fraction: fraction of the ranked list for the ranking policy.
-        max_fanins: skip nodes with more fanins than this.
+        max_fanins: fanin budget for the exhaustive extractor.
+        wide_nodes: what to do with nodes above *max_fanins*:
+            ``"skip"`` (default) leaves them untouched and counts them in
+            ``odc.wide_nodes_skipped``; ``"sat"`` routes those still
+            within :data:`MAX_EXHAUSTIVE_FANINS` through the
+            simulation+SAT extractor (and skips, with the counter, only
+            the ones beyond the hard cap).
 
     Raises:
-        ValueError: on unknown policies, or if a rewrite changes the
-            primary outputs (which would indicate an ODC bug).
+        ValueError: on unknown policies or *wide_nodes* modes, or if a
+            rewrite changes the primary outputs (which would indicate an
+            ODC bug).
     """
     if policy not in ("cfactor", "ranking"):
         raise ValueError(f"unknown policy {policy!r}")
+    if wide_nodes not in ("skip", "sat"):
+        raise ValueError(f"unknown wide_nodes mode {wide_nodes!r}")
     with span("odc.reassign", nodes=len(network.nodes), policy=policy):
         sim = IncrementalNetworkSim(network)
         reference = sim.output_words().copy()
@@ -236,8 +332,19 @@ def reassign_internal_dcs(
         for name in list(network.topological_order()):
             node = network.nodes[name]
             if len(node.fanins) > max_fanins:
-                continue
-            local = node_flexibility(network, name, sim=sim)
+                if (
+                    wide_nodes == "sat"
+                    and len(node.fanins) <= MAX_EXHAUSTIVE_FANINS
+                ):
+                    # Imported lazily: flexibility builds on this module.
+                    from .flexibility import node_flexibility_sat
+
+                    local = node_flexibility_sat(network, name)
+                else:
+                    obs_metrics.counter("odc.wide_nodes_skipped").inc()
+                    continue
+            else:
+                local = node_flexibility(network, name, sim=sim)
             if not int(np.count_nonzero(local.phases == DC)):
                 continue
             if policy == "cfactor":

@@ -213,6 +213,25 @@ class TestCliPipeline:
         assert payload["pipeline"]["name"] == "cli-config"
         assert payload["result"]["policy"] == "complete"
 
+    def test_run_complete_dc_flag(self, pla_file, capsys):
+        import json
+
+        argv = ["pipeline", "run", pla_file, "--objective", "area", "--json"]
+        assert main(argv) == 0
+        baseline = json.loads(capsys.readouterr().out)
+        assert "complete_dc" not in baseline["pipeline"]
+
+        assert main(argv + ["--complete-dc"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["pipeline"]["stages_run"] == 7
+        report = payload["pipeline"]["complete_dc"]
+        assert report["nodes_considered"] > 0
+        assert report["dc_delta"] >= 0
+        # POs are preserved, so the measured reliability is unchanged.
+        assert (
+            payload["result"]["error_rate"] == baseline["result"]["error_rate"]
+        )
+
     def test_sweep_checkpoint_dir(self, pla_file, tmp_path, capsys):
         ckpt = tmp_path / "ckpt"
         assert main(["sweep", pla_file, "--points", "2", "--objective",
@@ -230,6 +249,13 @@ class TestCliExtensions:
     def test_nodal_with_renode(self, pla_file, capsys):
         assert main(["nodal", pla_file, "--renode", "--k", "4"]) == 0
         assert "nodes" in capsys.readouterr().out
+
+    def test_nodal_sat(self, pla_file, capsys):
+        assert main(["nodal", pla_file, "--sat", "--dc-window", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "complete DC minterms" in out
+        assert "SAT fallback nodes" in out
+        assert "internal error before" in out
 
     def test_synth_verilog(self, pla_file, tmp_path, capsys):
         out_v = str(tmp_path / "out.v")

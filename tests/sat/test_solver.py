@@ -79,6 +79,81 @@ class TestAssumptions:
         assert not sat
 
 
+class TestAssumptionSoundness:
+    """Clauses learned under assumptions must stay sound for later calls.
+
+    The pre-fix solver enqueued assumptions at level 0; ``analyze``
+    drops level-0 literals, so a clause learned under one assumption set
+    silently conditioned on it and — persisted into ``self.clauses`` —
+    made later calls with contradictory assumptions wrongly UNSAT.
+    """
+
+    def test_contradictory_assumption_sets(self):
+        # Only constrains assignments where 1, 2, 3 are all true:
+        # then 4 must be both true and false.
+        solver = SatSolver()
+        solver.add_clause([-1, -2, -3, 4])
+        solver.add_clause([-1, -2, -3, -4])
+        sat, _ = solver.solve(assumptions=[1])
+        assert sat  # e.g. 1=T, 2=F; forces a conflict + learned clause first
+        # Pre-fix the learned clause was [-2, -3] (assumption -1 dropped),
+        # making this wrongly UNSAT.  2 ∧ 3 with 1 false is fine.
+        sat, model = solver.solve(assumptions=[-1, 2, 3])
+        assert sat
+        assert model[1] is False and model[2] and model[3]
+
+    def test_flipped_single_assumption(self):
+        solver = SatSolver()
+        solver.add_clause([-1, 2, 3])
+        solver.add_clause([-1, 2, -3])
+        solver.add_clause([-1, -2, 3])
+        solver.add_clause([-1, -2, -3])
+        sat, _ = solver.solve(assumptions=[1])
+        assert not sat  # assuming 1 forces the 4-way contradiction
+        sat, model = solver.solve(assumptions=[-1])
+        assert sat
+        assert model[1] is False
+        sat, model = solver.solve()
+        assert sat
+        assert model[1] is False  # 1 is genuinely forced false
+
+    def test_conflicting_assumptions_rejected(self):
+        solver = SatSolver()
+        solver.add_clause([1, 2])
+        sat, _ = solver.solve(assumptions=[3, -3])
+        assert not sat
+        sat, _ = solver.solve(assumptions=[3])
+        assert sat  # the contradiction above must not poison var 3
+
+
+class TestConflictBudget:
+    def test_budget_exhaustion_returns_unknown(self):
+        solver = SatSolver()
+        # PHP(5 -> 4): small but needs many conflicts.
+        def var(p, h):
+            return p * 4 + h + 1
+        for p in range(5):
+            solver.add_clause([var(p, h) for h in range(4)])
+        for h in range(4):
+            for p1 in range(5):
+                for p2 in range(p1 + 1, 5):
+                    solver.add_clause([-var(p1, h), -var(p2, h)])
+        sat, model = solver.solve(max_conflicts=1)
+        assert sat is None
+        assert model == {}
+        # A fresh unbudgeted call still gets the right answer.
+        sat, _ = solver.solve()
+        assert sat is False
+
+    def test_budget_keeps_solver_sound(self):
+        solver = SatSolver()
+        solver.add_clause([-1, -2, -3, 4])
+        solver.add_clause([-1, -2, -3, -4])
+        solver.solve(assumptions=[1], max_conflicts=1)
+        sat, _ = solver.solve(assumptions=[-1, 2, 3])
+        assert sat
+
+
 class TestPigeonhole:
     def test_php_3_into_2_unsat(self):
         """Three pigeons, two holes: classic small UNSAT instance."""
@@ -122,3 +197,42 @@ class TestRandomFormulas:
         assert sat == brute
         if sat:
             assert check_model(clauses, model)
+
+    @given(st.integers(0, 10**9))
+    @settings(max_examples=40, deadline=None)
+    def test_incremental_assumption_sequences(self, seed):
+        """One solver, many assumption sets: every answer must match
+        brute force over (clauses + assumptions-as-units)."""
+        rng = np.random.default_rng(seed)
+        num_vars = int(rng.integers(2, 7))
+        num_clauses = int(rng.integers(2, 20))
+        clauses = []
+        for _ in range(num_clauses):
+            width = int(rng.integers(1, min(4, num_vars + 1)))
+            variables = rng.choice(num_vars, size=width, replace=False) + 1
+            clause = [int(v) * (1 if rng.random() < 0.5 else -1) for v in variables]
+            clauses.append(clause)
+        solver = SatSolver()
+        for clause in clauses:
+            solver.add_clause(clause)
+        for _ in range(int(rng.integers(2, 6))):
+            width = int(rng.integers(0, num_vars + 1))
+            variables = rng.choice(num_vars, size=width, replace=False) + 1
+            assumptions = [
+                int(v) * (1 if rng.random() < 0.5 else -1) for v in variables
+            ]
+            sat, model = solver.solve(assumptions=assumptions)
+            extended = clauses + [[l] for l in assumptions]
+            brute = any(
+                all(
+                    any(
+                        ((assignment >> (abs(l) - 1)) & 1) == (l > 0)
+                        for l in clause
+                    )
+                    for clause in extended
+                )
+                for assignment in range(1 << num_vars)
+            )
+            assert sat == brute, (clauses, assumptions)
+            if sat:
+                assert check_model(extended, model)

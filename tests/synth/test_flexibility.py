@@ -5,10 +5,20 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.core.truthtable import DC
 from repro.espresso.cube import Cover
-from repro.synth.flexibility import node_flexibility_sat
+from repro.obs import metrics as obs_metrics
+from repro.synth.flexibility import (
+    CompleteFlexibilityOracle,
+    node_flexibility_sat,
+    reassign_complete_dcs,
+)
 from repro.synth.network import LogicNetwork
-from repro.synth.odc import node_flexibility
+from repro.synth.odc import (
+    MAX_EXHAUSTIVE_FANINS,
+    node_flexibility,
+    reassign_internal_dcs,
+)
 
 
 def random_multilevel(seed: int, n: int = 5) -> LogicNetwork:
@@ -49,6 +59,127 @@ class TestAgainstExhaustive:
                 net, name, simulation_vectors=2, rng=np.random.default_rng(0)
             )
             np.testing.assert_array_equal(via_sat.phases, exact.phases)
+
+
+class TestOracle:
+    @given(st.integers(0, 10**9))
+    @settings(max_examples=10, deadline=None)
+    def test_shared_oracle_matches_exhaustive(self, seed):
+        """One oracle across every node of a network — learned clauses
+        accumulate in the shared solver — still agrees with the
+        exhaustive extractor node for node."""
+        net = random_multilevel(seed)
+        oracle = CompleteFlexibilityOracle(
+            net, simulation_vectors=64, rng=np.random.default_rng(seed)
+        )
+        for name in list(net.nodes):
+            exact = node_flexibility(net, name)
+            shared = oracle.node_flexibility(name)
+            np.testing.assert_array_equal(shared.phases, exact.phases, err_msg=name)
+
+    def test_query_budget_triggers_fallback(self):
+        net = random_multilevel(11)
+        oracle = CompleteFlexibilityOracle(
+            net, simulation_vectors=2, query_budget=1
+        )
+        before = obs_metrics.counter("sat.fallbacks").value
+        results = [oracle.node_flexibility(name) for name in net.nodes]
+        assert None in results  # some node needed more than one query
+        assert obs_metrics.counter("sat.fallbacks").value > before
+
+    def test_conflict_budget_triggers_fallback(self):
+        net = random_multilevel(12)
+        oracle = CompleteFlexibilityOracle(
+            net, simulation_vectors=2, conflict_budget=0
+        )
+        results = [oracle.node_flexibility(name) for name in net.nodes]
+        # With a zero conflict budget any non-trivial query gives up.
+        assert None in results
+
+    def test_notify_rewrite_resynchronises(self):
+        """After a cover rewrite the oracle must answer for the *new*
+        network, not the stale encoding."""
+        net = LogicNetwork(["a", "b", "c"])
+        net.add_node("g", ["c"], Cover.from_strings(["1"]))
+        net.add_node("t", ["a", "b"], Cover.from_strings(["11"]))
+        net.add_node("y", ["t", "g"], Cover.from_strings(["11"]))
+        net.set_output("out", "y")
+        oracle = CompleteFlexibilityOracle(net, simulation_vectors=16)
+        assert oracle.node_flexibility("t").dc_set(0).size == 0
+        # Kill the AND gate: g becomes constant 0, masking t entirely.
+        net.nodes["g"].cover = Cover.empty(1)
+        net.invalidate_structure_caches()
+        oracle.notify_rewrite("g")
+        assert list(oracle.node_flexibility("t").dc_set(0)) == [0, 1, 2, 3]
+
+    def test_wide_node_raises(self):
+        width = MAX_EXHAUSTIVE_FANINS + 1
+        names = [f"x{i}" for i in range(width)]
+        net = LogicNetwork(names)
+        net.add_node("wide", names, Cover.from_strings(["1" * width]))
+        net.set_output("out", "wide")
+        with pytest.raises(ValueError, match="capped at"):
+            node_flexibility_sat(net, "wide")
+
+
+class TestReassignComplete:
+    @pytest.mark.parametrize("policy", ["cfactor", "ranking"])
+    @pytest.mark.parametrize("seed", [0, 1, 5, 9])
+    def test_preserves_outputs(self, policy, seed):
+        net = random_multilevel(seed)
+        reference = net.output_table().copy()
+        report = reassign_complete_dcs(net, policy=policy)
+        np.testing.assert_array_equal(net.output_table(), reference)
+        assert report.complete_dc_minterms >= report.window_dc_minterms
+        assert report.dc_delta >= 0
+        assert report.sat_fallback_nodes == 0
+
+    @pytest.mark.parametrize("policy", ["cfactor", "ranking"])
+    def test_total_dcs_match_exhaustive_reassign(self, policy):
+        """Processed in the same order with the same policy, the SAT
+        pass must confirm exactly the DC minterms the exhaustive pass
+        sees (both are complete over the PI space)."""
+        for seed in (2, 3, 7):
+            sat_net = random_multilevel(seed)
+            exact_net = random_multilevel(seed)
+            sat_report = reassign_complete_dcs(sat_net, policy=policy)
+            exact_report = reassign_internal_dcs(exact_net, policy=policy)
+            assert sat_report.nodes_changed == exact_report.nodes_changed
+            assert (
+                sat_report.dc_entries_assigned
+                == exact_report.dc_entries_assigned
+            )
+            for name in sat_net.nodes:
+                np.testing.assert_array_equal(
+                    sat_net.nodes[name].cover.evaluate(),
+                    exact_net.nodes[name].cover.evaluate(),
+                    err_msg=f"seed {seed} node {name}",
+                )
+
+    def test_budget_exhaustion_falls_back_to_window(self):
+        net = random_multilevel(4)
+        reference = net.output_table().copy()
+        report = reassign_complete_dcs(net, query_budget=0)
+        # Nodes that needed any SAT query at all fell back; ones whose
+        # patterns were all simulation-proven cares complete query-free.
+        assert report.sat_fallback_nodes >= 1
+        np.testing.assert_array_equal(net.output_table(), reference)
+
+    def test_unknown_policy(self):
+        net = random_multilevel(6)
+        with pytest.raises(ValueError, match="unknown policy"):
+            reassign_complete_dcs(net, policy="magic")
+
+    def test_counters_recorded(self):
+        net = random_multilevel(8)
+        queries = obs_metrics.counter("sat.queries").value
+        nodes = obs_metrics.counter("complete_dc.nodes").value
+        report = reassign_complete_dcs(net)
+        assert obs_metrics.counter("sat.queries").value > queries
+        assert (
+            obs_metrics.counter("complete_dc.nodes").value
+            == nodes + report.nodes_considered
+        )
 
 
 class TestKnownCases:

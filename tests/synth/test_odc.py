@@ -7,7 +7,9 @@ from repro.core.spec import FunctionSpec
 from repro.core.truthtable import DC, OFF, ON
 from repro.espresso.cube import Cover
 from repro.synth.network import LogicNetwork
+from repro.obs import metrics as obs_metrics
 from repro.synth.odc import (
+    MAX_EXHAUSTIVE_FANINS,
     internal_error_rate,
     node_flexibility,
     reassign_internal_dcs,
@@ -67,6 +69,119 @@ class TestNodeFlexibility:
         external = np.ones((1, 4), dtype=bool)  # everything externally DC
         local = node_flexibility(net, "t", external_dc=external)
         assert list(local.dc_set(0)) == [0, 1, 2, 3]
+
+
+class TestFaninGuard:
+    def _wide_network(self, width: int) -> LogicNetwork:
+        names = [f"x{i}" for i in range(width)]
+        net = LogicNetwork(names)
+        net.add_node("wide", names, Cover.from_strings(["1" * width]))
+        net.set_output("out", "wide")
+        return net
+
+    def test_wide_node_raises(self):
+        net = self._wide_network(MAX_EXHAUSTIVE_FANINS + 1)
+        with pytest.raises(ValueError, match="capped at"):
+            node_flexibility(net, "wide")
+
+    def test_reassign_skips_wide_nodes_with_counter(self):
+        net = self._random_multilevel_with_wide(seed=3)
+        reference = net.output_table().copy()
+        before = obs_metrics.counter("odc.wide_nodes_skipped").value
+        report = reassign_internal_dcs(net, max_fanins=2)
+        assert obs_metrics.counter("odc.wide_nodes_skipped").value == before + 2
+        np.testing.assert_array_equal(net.output_table(), reference)
+        assert report.nodes_changed >= 0
+
+    def test_reassign_routes_wide_nodes_to_sat(self):
+        net = self._random_multilevel_with_wide(seed=4)
+        reference = net.output_table().copy()
+        before = obs_metrics.counter("odc.wide_nodes_skipped").value
+        reassign_internal_dcs(net, max_fanins=2, wide_nodes="sat")
+        # Both wide nodes fit under the hard cap -> SAT path, no skips.
+        assert obs_metrics.counter("odc.wide_nodes_skipped").value == before
+        np.testing.assert_array_equal(net.output_table(), reference)
+
+    def test_sat_route_still_skips_beyond_hard_cap(self):
+        net = self._wide_network(MAX_EXHAUSTIVE_FANINS + 1)
+        before = obs_metrics.counter("odc.wide_nodes_skipped").value
+        reassign_internal_dcs(net, wide_nodes="sat")
+        assert obs_metrics.counter("odc.wide_nodes_skipped").value == before + 1
+
+    def test_unknown_wide_nodes_mode(self):
+        net = self._wide_network(3)
+        with pytest.raises(ValueError, match="wide_nodes"):
+            reassign_internal_dcs(net, wide_nodes="explode")
+
+    def _random_multilevel_with_wide(self, seed: int) -> LogicNetwork:
+        """5 PIs; two 3-fanin nodes (wide when max_fanins=2)."""
+        rng = np.random.default_rng(seed)
+        names = [f"x{i}" for i in range(5)]
+        net = LogicNetwork(names)
+        rows = rng.choice([0, 1, 2], size=(3, 3), p=[0.3, 0.3, 0.4]).astype(np.uint8)
+        net.add_node("t0", ["x0", "x1", "x2"], Cover(rows, 3))
+        rows2 = rng.choice([0, 1, 2], size=(3, 3), p=[0.3, 0.3, 0.4]).astype(np.uint8)
+        net.add_node("t1", ["t0", "x3", "x4"], Cover(rows2, 3))
+        net.add_node("t2", ["t1", "x0"], Cover.from_strings(["11", "00"]))
+        net.set_output("y", "t2")
+        return net
+
+
+class TestWindowLimited:
+    def _deep_chain(self) -> LogicNetwork:
+        """t = a&b then three AND gates with c, d, e: flips on t are
+        masked whenever any later-stage side input is 0."""
+        net = LogicNetwork(["a", "b", "c", "d", "e"])
+        net.add_node("t", ["a", "b"], Cover.from_strings(["11"]))
+        net.add_node("u", ["t", "c"], Cover.from_strings(["11"]))
+        net.add_node("v", ["u", "d"], Cover.from_strings(["11"]))
+        net.add_node("w", ["v", "e"], Cover.from_strings(["11"]))
+        net.set_output("out", "w")
+        return net
+
+    def test_window_dcs_are_subset_of_complete(self):
+        net = self._deep_chain()
+        complete = node_flexibility(net, "t")
+        for levels in (1, 2, 3):
+            windowed = node_flexibility(net, "t", window_levels=levels)
+            assert set(windowed.dc_set(0)) <= set(complete.dc_set(0))
+
+    def test_window_covering_all_pos_matches_complete(self):
+        net = self._deep_chain()
+        complete = node_flexibility(net, "t")
+        windowed = node_flexibility(net, "t", window_levels=3)
+        np.testing.assert_array_equal(windowed.phases, complete.phases)
+
+    def test_shallow_window_is_strictly_conservative(self):
+        """Masking two levels down is invisible to a depth-1 window.
+
+        t = a&b.  One level down, u = t & (a|b) masks pattern 00; two
+        levels down, v = u & (a'|b) additionally masks pattern (a=1,b=0).
+        The depth-1 window sees only the first masking.
+        """
+        net = LogicNetwork(["a", "b"])
+        net.add_node("t", ["a", "b"], Cover.from_strings(["11"]))
+        net.add_node("s1", ["a", "b"], Cover.from_strings(["1-", "-1"]))
+        net.add_node("s2", ["a", "b"], Cover.from_strings(["0-", "-1"]))
+        net.add_node("u", ["t", "s1"], Cover.from_strings(["11"]))
+        net.add_node("v", ["u", "s2"], Cover.from_strings(["11"]))
+        net.set_output("out", "v")
+        complete = node_flexibility(net, "t")
+        windowed = node_flexibility(net, "t", window_levels=1)
+        assert set(windowed.dc_set(0)) == {0}
+        assert set(complete.dc_set(0)) == {0, 1}
+        assert set(windowed.dc_set(0)) < set(complete.dc_set(0))
+
+    def test_window_on_po_node(self):
+        net = self._deep_chain()
+        complete = node_flexibility(net, "w")
+        windowed = node_flexibility(net, "w", window_levels=1)
+        np.testing.assert_array_equal(windowed.phases, complete.phases)
+
+    def test_bad_window_depth(self):
+        net = self._deep_chain()
+        with pytest.raises(ValueError, match="window_levels"):
+            node_flexibility(net, "t", window_levels=0)
 
 
 class TestInternalErrorRate:
