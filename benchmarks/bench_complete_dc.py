@@ -7,20 +7,33 @@ extractor at depth 1.  The claims under test: the complete extractor
 confirms **strictly more** DC minterms than the windowed one, and the
 reassignment never changes a primary output.
 
-Results (DC counts, deltas and the ``sat.*`` query counters) persist to
-``BENCH_complete_dc.json`` at the repo root so the trajectory is tracked
-across PRs.
+A second experiment measures the batched/parallel flexibility engine
+against its own legacy query plan (one cube-assumption solve per
+candidate, no encoding reuse, no counterexample recycling) on a
+SAT-bound subject: a disjoint union of four independent cones, which
+also gives the wave scheduler four-wide groups to fan out across
+worker processes.  Batching + caching + recycling must buy >= 1.3x
+serial wall clock, and the parallel confirmation phase >= 3x at four
+jobs (timing asserted only when the machine actually has the CPUs),
+with the DC counts and the rewritten networks bit-identical throughout.
+
+Results (DC counts, deltas, per-circuit wall/solver seconds and the
+``sat.*`` query counters) persist to ``BENCH_complete_dc.json`` at the
+repo root so the trajectory is tracked across PRs.
 """
 
 import json
+import time
 from pathlib import Path
 
 import numpy as np
+import pytest
 
 from repro.benchgen.synthetic import generate_spec
 from repro.espresso.minimize import minimize_spec
 from repro.flows import format_table
 from repro.obs import metrics as obs_metrics
+from repro.perf.pool import available_cpus, pool_enabled
 from repro.synth.flexibility import reassign_complete_dcs
 from repro.synth.network import LogicNetwork
 from repro.synth.optimize import optimize_network
@@ -35,7 +48,20 @@ complete extractor must dominate it on every circuit."""
 
 SAT_COUNTERS = (
     "sat.queries", "sat.confirmations", "sat.refutations", "sat.fallbacks",
+    "sat.batch_queries", "sat.cex_recycled", "sat.cone_cache_hits",
 )
+
+SERIAL_SPEEDUP_FLOOR = 1.3
+"""Minimum end-to-end speedup the engine's batching + encoding caching +
+counterexample recycling must buy over the legacy one-query-per-solve
+plan, serially, on the SAT-bound perf subject."""
+
+PARALLEL_CONFIRM_FLOOR = 3.0
+"""Minimum confirmation-phase speedup at 4 jobs.  The apply phase
+(ESPRESSO cover rebuilds) is inherently sequential, so the parallel
+claim is pinned on the phase the workers actually execute."""
+
+PERF_JOBS = 4
 
 
 def _subjects():
@@ -47,21 +73,42 @@ def _subjects():
     ]
 
 
+def _build_network(spec):
+    minimized = minimize_spec(spec)
+    network = LogicNetwork.from_covers(
+        list(spec.input_names), minimized.covers, list(spec.output_names)
+    )
+    optimize_network(network)
+    return network
+
+
+def _update_bench_file(**sections):
+    """Merge *sections* into BENCH_complete_dc.json (tests are
+    independent; each owns its keys)."""
+    data = {}
+    if BENCH_FILE.exists():
+        data = json.loads(BENCH_FILE.read_text())
+    data.update(sections)
+    BENCH_FILE.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+
+
 def _run():
     counters_before = {n: obs_metrics.counter(n).value for n in SAT_COUNTERS}
     rows = []
     for spec in _subjects():
-        minimized = minimize_spec(spec)
-        network = LogicNetwork.from_covers(
-            list(spec.input_names), minimized.covers, list(spec.output_names)
-        )
-        optimize_network(network)
+        network = _build_network(spec)
         reference = network.output_table().copy()
+        queries_before = obs_metrics.counter("sat.queries").value
+        solver_before = obs_metrics.counter("sat.solve_seconds").value
+        started = time.perf_counter()
         report = reassign_complete_dcs(
             network, policy="cfactor", threshold=1.0,
             window_levels=WINDOW_LEVELS,
             rng=np.random.default_rng(7),
         )
+        wall = time.perf_counter() - started
+        solver = obs_metrics.counter("sat.solve_seconds").value - solver_before
+        queries = obs_metrics.counter("sat.queries").value - queries_before
         assert bool(np.array_equal(network.output_table(), reference))
         rows.append({
             "name": spec.name,
@@ -72,6 +119,9 @@ def _run():
             "fallback": report.sat_fallback_nodes,
             "before": report.error_rate_before,
             "after": report.error_rate_after,
+            "wall_seconds": round(wall, 3),
+            "solver_seconds": round(solver, 3),
+            "queries_per_second": round(queries / wall, 1) if wall else None,
         })
     sat = {
         n: obs_metrics.counter(n).value - counters_before[n]
@@ -84,9 +134,10 @@ def test_complete_dc_dominates_window(benchmark):
     rows, sat = benchmark.pedantic(_run, rounds=1, iterations=1)
     table = format_table(
         ["circuit", "nodes", "complete DCs", f"window-{WINDOW_LEVELS} DCs",
-         "delta", "fallback nodes", "internal error before", "after"],
+         "delta", "fallback nodes", "wall s", "solver s", "queries/s"],
         [[r["name"], r["nodes"], r["complete"], r["window"], r["delta"],
-          r["fallback"], round(r["before"], 4), round(r["after"], 4)]
+          r["fallback"], r["wall_seconds"], r["solver_seconds"],
+          r["queries_per_second"]]
          for r in rows],
     )
     emit("SAT-complete DCs vs window-limited extractor", table)
@@ -100,11 +151,164 @@ def test_complete_dc_dominates_window(benchmark):
     assert sat["sat.queries"] > 0
     assert sat["sat.confirmations"] > 0
 
-    BENCH_FILE.write_text(json.dumps({
-        "window_levels": WINDOW_LEVELS,
-        "circuits": rows,
-        "sat_counters": sat,
-        "total_complete_dc_minterms": sum(r["complete"] for r in rows),
-        "total_window_dc_minterms": sum(r["window"] for r in rows),
-        "total_dc_delta": sum(r["delta"] for r in rows),
-    }, indent=2, sort_keys=True) + "\n")
+    _update_bench_file(
+        window_levels=WINDOW_LEVELS,
+        circuits=rows,
+        sat_counters=sat,
+        total_complete_dc_minterms=sum(r["complete"] for r in rows),
+        total_window_dc_minterms=sum(r["window"] for r in rows),
+        total_dc_delta=sum(r["delta"] for r in rows),
+    )
+
+
+# --------------------------------------------------------------- perf
+
+def _perf_subject():
+    """Disjoint union of four independent 8-PI cones.
+
+    32 PIs total, so the stage runs in its wide-network mode (sampled
+    simulation + final SAT miter), and the four cones share no signals,
+    so the wave scheduler emits four-wide groups — the parallel path's
+    best case and the serial path's representative SAT-bound load.
+    """
+    cones = [
+        _build_network(
+            generate_spec(f"cone{i}", 8, 4, target_cf=0.5,
+                          dc_fraction=0.4, seed=90 + i)
+        )
+        for i in range(4)
+    ]
+    pis = [f"c{i}_{p}" for i, net in enumerate(cones)
+           for p in net.primary_inputs]
+    union = LogicNetwork(pis)
+    for i, net in enumerate(cones):
+        rename = {p: f"c{i}_{p}" for p in net.primary_inputs}
+        for name in net.topological_order():
+            node = net.nodes[name]
+            new_name = f"c{i}_{name}"
+            rename[name] = new_name
+            union.add_node(
+                new_name, [rename[f] for f in node.fanins], node.cover
+            )
+        for out, sig in net.outputs.items():
+            union.set_output(f"c{i}_{out}", rename[sig])
+    return union
+
+
+def _perf_run(jobs=1, legacy=False):
+    """One reassignment over the perf subject; timing + identity data.
+
+    ``simulation_vectors=64`` leaves real work for SAT (256 proposes
+    most candidates away) and ``query_budget=4096`` admits every node
+    (fallback nodes would burn conflict budget in *both* plans and
+    blur the comparison).
+    """
+    network = _perf_subject()
+    kwargs = dict(
+        policy="cfactor", threshold=1.0, window_levels=WINDOW_LEVELS,
+        simulation_vectors=64, query_budget=4096,
+        rng=np.random.default_rng(7), jobs=jobs,
+    )
+    if legacy:
+        kwargs.update(batch_size=1, reuse_encodings=False,
+                      recycle_counterexamples=False)
+    solver_before = obs_metrics.counter("sat.solve_seconds").value
+    confirm_before = obs_metrics.counter("complete_dc.confirm_seconds").value
+    started = time.perf_counter()
+    report = reassign_complete_dcs(network, **kwargs)
+    wall = time.perf_counter() - started
+    return {
+        "wall": wall,
+        "solver": obs_metrics.counter("sat.solve_seconds").value
+        - solver_before,
+        "confirm": obs_metrics.counter("complete_dc.confirm_seconds").value
+        - confirm_before,
+        "report": report,
+        "snapshot": {
+            name: (tuple(node.fanins), node.cover.cubes.tobytes())
+            for name, node in network.nodes.items()
+        },
+    }
+
+
+def _counts(report):
+    return (report.complete_dc_minterms, report.window_dc_minterms,
+            report.nodes_changed, report.dc_entries_assigned)
+
+
+def test_complete_dc_engine_speedup(benchmark):
+    # Interleaved min-of-2: machine noise on this scale exceeds the
+    # margin a single pair of runs would leave.
+    runs = {"legacy": [], "engine": []}
+    def _once():
+        for _ in range(2):
+            runs["legacy"].append(_perf_run(legacy=True))
+            runs["engine"].append(_perf_run())
+        return runs
+    benchmark.pedantic(_once, rounds=1, iterations=1)
+    legacy = min(runs["legacy"], key=lambda r: r["wall"])
+    engine = min(runs["engine"], key=lambda r: r["wall"])
+
+    # Identical results first — the speedup must be a pure query-plan
+    # win, not a different answer.
+    for other in runs["legacy"] + runs["engine"]:
+        assert _counts(other["report"]) == _counts(engine["report"])
+        assert other["snapshot"] == engine["snapshot"]
+
+    serial_speedup = legacy["wall"] / engine["wall"]
+    perf = {
+        "subject": "4x disjoint 8-PI cones",
+        "jobs": PERF_JOBS,
+        "legacy_wall_seconds": round(legacy["wall"], 3),
+        "legacy_solver_seconds": round(legacy["solver"], 3),
+        "engine_wall_seconds": round(engine["wall"], 3),
+        "engine_solver_seconds": round(engine["solver"], 3),
+        "serial_speedup": round(serial_speedup, 2),
+        "serial_floor": SERIAL_SPEEDUP_FLOOR,
+        "parallel_confirm_floor": PARALLEL_CONFIRM_FLOOR,
+        "parallel_confirm_speedup": None,
+        "parallel_wall_seconds": None,
+    }
+
+    if pool_enabled():
+        parallel = _perf_run(jobs=PERF_JOBS)
+        # Parallel output is bit-identical to serial, always — even on
+        # a single CPU, where only the timing claim is vacuous.
+        assert _counts(parallel["report"]) == _counts(engine["report"])
+        assert parallel["snapshot"] == engine["snapshot"]
+        assert parallel["report"].parallel_groups > 0
+        perf["parallel_wall_seconds"] = round(parallel["wall"], 3)
+        confirm_speedup = (
+            engine["confirm"] / parallel["confirm"]
+            if parallel["confirm"] else None
+        )
+        perf["parallel_confirm_speedup"] = (
+            round(confirm_speedup, 2) if confirm_speedup else None
+        )
+        if available_cpus() >= PERF_JOBS:
+            assert confirm_speedup >= PARALLEL_CONFIRM_FLOOR, perf
+
+    emit("flexibility engine vs legacy query plan", json.dumps(perf, indent=2))
+    assert serial_speedup >= SERIAL_SPEEDUP_FLOOR, perf
+    _update_bench_file(perf=perf)
+
+
+@pytest.mark.skipif(
+    available_cpus() < PERF_JOBS or not pool_enabled(),
+    reason=f"needs {PERF_JOBS} CPUs and the warm pool",
+)
+def test_complete_dc_speedup_floor():
+    """CI gate: parallel confirmation at 4 jobs is at least 2x serial.
+
+    A deliberately lower floor than the benchmark's 3x — CI runners
+    are shared and slow, and this test exists to catch the parallel
+    path silently serialising, not to certify peak speedup.
+    """
+    serial = _perf_run()
+    parallel = _perf_run(jobs=PERF_JOBS)
+    assert _counts(parallel["report"]) == _counts(serial["report"])
+    assert parallel["snapshot"] == serial["snapshot"]
+    assert parallel["report"].parallel_groups > 0
+    assert serial["confirm"] >= 2.0 * parallel["confirm"], (
+        serial["confirm"], parallel["confirm"]
+    )

@@ -273,13 +273,24 @@ def _cmd_nodal(args: argparse.Namespace) -> int:
         network = renode(network, args.k)
     rows: list[list] = [["nodes", len(network.nodes)]]
     if args.sat:
+        session = getattr(args, "_obs_session", None)
+        progress = (
+            session.progress_reporter(label="complete-dc")
+            if session is not None
+            else None
+        )
         report = reassign_complete_dcs(
             network,
             policy=args.policy,
             threshold=args.threshold,
             window_levels=args.dc_window,
+            jobs=_resolve_jobs_arg(args.jobs),
+            progress=progress,
         )
         rows += [
+            ["node groups (parallel)",
+             f"{report.node_groups} ({report.parallel_groups})"],
+            ["recycled counterexamples", report.recycled_patterns],
             ["nodes rewritten", report.nodes_changed],
             ["internal DCs assigned", report.dc_entries_assigned],
             ["complete DC minterms", report.complete_dc_minterms],
@@ -358,6 +369,12 @@ def _cmd_pipeline_run(args: argparse.Namespace) -> int:
         )
     if getattr(args, "complete_dc", False):
         config = _with_complete_dc_stage(config)
+    dc_jobs = _resolve_jobs_arg(getattr(args, "dc_jobs", "1"))
+    if dc_jobs != 1:
+        config = {
+            **config,
+            "params": {**config.get("params", {}), "dc_jobs": dc_jobs},
+        }
     checkpoint = (
         CheckpointStore(args.checkpoint_dir) if args.checkpoint_dir else None
     )
@@ -568,6 +585,7 @@ def _cmd_obs_compare(args: argparse.Namespace) -> int:
         baseline, candidate,
         wall_tolerance=args.wall_tolerance,
         quality_tolerance=args.quality_tolerance,
+        stage_tolerance=args.stage_tolerance,
     )
     if args.json:
         print(json.dumps(comparison.to_dict(), indent=2, sort_keys=True))
@@ -610,6 +628,7 @@ def _cmd_obs_regressions(args: argparse.Namespace) -> int:
         baseline, candidate,
         wall_tolerance=args.wall_tolerance,
         quality_tolerance=args.quality_tolerance,
+        stage_tolerance=args.stage_tolerance,
     )
     if args.json:
         print(json.dumps(comparison.to_dict(), indent=2, sort_keys=True))
@@ -750,6 +769,11 @@ def _build_parser() -> argparse.ArgumentParser:
                             dest="complete_dc",
                             help="insert the SAT-complete don't-care stage "
                                  "after optimize (primary outputs preserved)")
+    p_pipe_run.add_argument("--dc-jobs", default="1", dest="dc_jobs",
+                            metavar="N|auto",
+                            help="worker processes for the complete-DC "
+                                 "stage's SAT confirmation (results are "
+                                 "bit-identical to serial)")
     p_pipe_run.add_argument("--json", action="store_true",
                             help="machine-readable result + pipeline summary")
     p_pipe_run.set_defaults(func=_cmd_pipeline_run)
@@ -761,7 +785,11 @@ def _build_parser() -> argparse.ArgumentParser:
                                help="machine-readable registry listing")
     p_pipe_stages.set_defaults(func=_cmd_pipeline_stages)
 
-    from .obs.regress import DEFAULT_QUALITY_TOLERANCE, DEFAULT_WALL_TOLERANCE
+    from .obs.regress import (
+        DEFAULT_QUALITY_TOLERANCE,
+        DEFAULT_STAGE_TOLERANCE,
+        DEFAULT_WALL_TOLERANCE,
+    )
 
     p_obs = sub.add_parser("obs", help="query the telemetry ledger")
     obs_sub = p_obs.add_subparsers(dest="obs_command", required=True)
@@ -775,6 +803,10 @@ def _build_parser() -> argparse.ArgumentParser:
                        default=DEFAULT_QUALITY_TOLERANCE, metavar="FRACTION",
                        help="allowed relative worsening of quality figures "
                             "(default %(default)s)")
+        p.add_argument("--stage-tolerance", type=float,
+                       default=DEFAULT_STAGE_TOLERANCE, metavar="FRACTION",
+                       help="allowed relative slowdown of any pipeline "
+                            "stage both runs executed (default %(default)s)")
 
     p_obs_runs = obs_sub.add_parser("runs", help="list recorded runs")
     p_obs_runs.add_argument("--command", dest="filter_command", default=None,
@@ -829,7 +861,10 @@ def _build_parser() -> argparse.ArgumentParser:
         "nodal", help="internal-DC extraction and reassignment (Sec. 4)"
     )
     p_nodal.add_argument("benchmark")
-    p_nodal.add_argument("--policy", default="cfactor", choices=["cfactor", "ranking"])
+    p_nodal.add_argument(
+        "--policy", default="cfactor",
+        choices=["conventional", "ranking", "cfactor", "complete"],
+    )
     p_nodal.add_argument("--threshold", type=float, default=1.0)
     p_nodal.add_argument("--renode", action="store_true",
                          help="repartition into k-feasible nodes first")
@@ -840,6 +875,7 @@ def _build_parser() -> argparse.ArgumentParser:
     p_nodal.add_argument("--dc-window", type=int, default=2, dest="dc_window",
                          help="window depth for the window-limited "
                               "baseline/fallback extractor")
+    _add_jobs_arg(p_nodal)
     p_nodal.set_defaults(func=_cmd_nodal)
 
     p_export = add_parser("export", help="write figure/table data as CSV")

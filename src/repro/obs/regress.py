@@ -26,6 +26,7 @@ from .store import RunRecord
 
 __all__ = [
     "DEFAULT_QUALITY_TOLERANCE",
+    "DEFAULT_STAGE_TOLERANCE",
     "DEFAULT_WALL_TOLERANCE",
     "Comparison",
     "Regression",
@@ -39,6 +40,12 @@ DEFAULT_WALL_TOLERANCE = 0.15
 the baseline before the gate fails — below the ≥20% drift the gate is
 specified to catch, above machine-to-machine noise on the short
 benchmark runs CI compares."""
+
+DEFAULT_STAGE_TOLERANCE = 0.30
+"""Relative slack on per-stage wall time.  Individual stages are
+shorter than whole runs, so their timings are proportionally noisier;
+30% catches a stage that genuinely doubled (e.g. the ``complete_dc``
+SAT stage losing its batching) without tripping on scheduler jitter."""
 
 DEFAULT_QUALITY_TOLERANCE = 1e-6
 """Relative slack on quality figures.  Synthesis results are
@@ -60,7 +67,7 @@ QUALITY_FIELDS = (
 class Regression:
     """One figure that worsened beyond its tolerance."""
 
-    kind: str  # "wall" | "quality" | "missing"
+    kind: str  # "wall" | "stage" | "quality" | "missing"
     name: str
     baseline: float | None
     candidate: float | None
@@ -101,6 +108,7 @@ class Comparison:
     baseline_id: str
     candidate_id: str
     wall: dict[str, Any] = field(default_factory=dict)
+    stages: dict[str, Any] = field(default_factory=dict)
     quality: list[dict[str, Any]] = field(default_factory=list)
     regressions: list[Regression] = field(default_factory=list)
 
@@ -114,6 +122,7 @@ class Comparison:
             "candidate": self.candidate_id,
             "ok": self.ok,
             "wall": self.wall,
+            "stages": self.stages,
             "quality": self.quality,
             "regressions": [r.to_dict() for r in self.regressions],
         }
@@ -147,14 +156,18 @@ def compare_runs(
     *,
     wall_tolerance: float = DEFAULT_WALL_TOLERANCE,
     quality_tolerance: float = DEFAULT_QUALITY_TOLERANCE,
+    stage_tolerance: float = DEFAULT_STAGE_TOLERANCE,
 ) -> Comparison:
     """Diff two ledger rows; collect tolerance-exceeding regressions.
 
     Wall clock is compared when both runs recorded a duration above
-    :data:`MIN_WALL_SECONDS`.  Quality points are matched by
-    :func:`quality_key`; a point the baseline measured that the
-    candidate did not is itself a regression (coverage must not shrink
-    silently), while extra candidate points are ignored.
+    :data:`MIN_WALL_SECONDS`.  Pipeline stage timings (e.g. the
+    ``complete_dc`` SAT stage) are compared per stage for stages both
+    runs executed, each against *stage_tolerance* with the same noise
+    floor.  Quality points are matched by :func:`quality_key`; a point
+    the baseline measured that the candidate did not is itself a
+    regression (coverage must not shrink silently), while extra
+    candidate points are ignored.
     """
     comparison = Comparison(
         baseline_id=baseline.run_id, candidate_id=candidate.run_id
@@ -178,6 +191,33 @@ def compare_runs(
                 baseline=base_wall,
                 candidate=cand_wall,
                 tolerance=wall_tolerance,
+            ))
+
+    for stage, base_timing in sorted(baseline.stage_timings.items()):
+        cand_timing = candidate.stage_timings.get(stage)
+        if cand_timing is None:
+            continue  # candidate did not run the stage — nothing to compare
+        base_seconds = base_timing.get("seconds")
+        cand_seconds = cand_timing.get("seconds")
+        if base_seconds is None or cand_seconds is None:
+            continue
+        base_seconds = float(base_seconds)
+        cand_seconds = float(cand_seconds)
+        comparison.stages[stage] = {
+            "baseline_seconds": base_seconds,
+            "candidate_seconds": cand_seconds,
+            "ratio": (cand_seconds / base_seconds) if base_seconds else None,
+            "tolerance": stage_tolerance,
+        }
+        if base_seconds >= MIN_WALL_SECONDS and _worsened(
+            base_seconds, cand_seconds, stage_tolerance
+        ):
+            comparison.regressions.append(Regression(
+                kind="stage",
+                name=f"stage_seconds [{stage}]",
+                baseline=base_seconds,
+                candidate=cand_seconds,
+                tolerance=stage_tolerance,
             ))
 
     candidate_points = {quality_key(p): p for p in candidate.quality}
@@ -232,6 +272,13 @@ def format_comparison(comparison: Comparison) -> str:
         lines.append(
             f"wall: {wall['baseline_seconds']:.3f}s -> "
             f"{wall['candidate_seconds']:.3f}s{ratio_text}"
+        )
+    for stage, cell in comparison.stages.items():
+        ratio = cell.get("ratio")
+        ratio_text = f" ({ratio:.2f}x)" if ratio else ""
+        lines.append(
+            f"stage {stage}: {cell['baseline_seconds']:.3f}s -> "
+            f"{cell['candidate_seconds']:.3f}s{ratio_text}"
         )
     changed = 0
     for entry in comparison.quality:

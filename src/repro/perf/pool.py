@@ -437,25 +437,40 @@ def _worker_main(task_queue: Any, result_queue: Any, seed_bytes: bytes) -> None:
         target=_heartbeat_loop, args=(result_queue, state, heartbeat_stop),
         name="repro-pool-heartbeat", daemon=True,
     ).start()
+    shared_epoch: int | None = None
+    shared_obj: Any = None
     while True:
         message = task_queue.get()
         if message is None:
             heartbeat_stop.set()
             break
-        _, epoch, chunk_id, func_bytes, encoded_tasks, traced, profiled = message
+        (_, epoch, chunk_id, func_bytes, shared_payload, encoded_tasks,
+         traced, profiled) = message
         outcomes: list[tuple] = []
         tracer = obs_trace.enable_tracing() if traced else None
         sampler = obs_profile.StackSampler().start() if profiled else None
         try:
             with obs_metrics.delta_capture() as delta:
                 func = pickle.loads(func_bytes)
+                if shared_payload is not None and shared_epoch != epoch:
+                    # One decode per map() call: later chunks of the same
+                    # epoch reuse the object (e.g. a network snapshot an
+                    # oracle was built from), not just its bytes.
+                    shared_obj = _decode_payload(
+                        shared_payload[0], shared_payload[1], buffers
+                    )
+                    shared_epoch = epoch
+                    obs_metrics.counter("pool.shared_decodes").inc()
                 for index, stream, refs in encoded_tasks:
                     state.current_index = index
                     state.busy_since = time.time()
                     try:
                         task = _decode_payload(stream, refs, buffers)
                         with span("sweep.point", index=index):
-                            result = func(task)
+                            if shared_payload is not None:
+                                result = func(shared_obj, task)
+                            else:
+                                result = func(task)
                         outcomes.append((index, "ok", result))
                     except Exception as exc:  # noqa: BLE001 - to the parent
                         outcomes.append(
@@ -623,11 +638,12 @@ class WarmPool:
 
     def map(
         self,
-        func: Callable[[Any], Any],
+        func: Callable[..., Any],
         tasks: Sequence[Any],
         jobs: int | None = None,
         *,
         progress: Callable[[int, int], None] | None = None,
+        shared: Any = None,
     ) -> list[Any]:
         """Map *func* over *tasks* on the pool; results in input order.
 
@@ -636,6 +652,13 @@ class WarmPool:
         same queue.  The *progress* callback fires with a monotonically
         increasing ``done`` count as tasks complete, regardless of chunk
         completion order.
+
+        When *shared* is given it is encoded **once** for the whole call,
+        shipped with every chunk, decoded **once per worker** (cached by
+        epoch), and passed as the first argument: ``func(shared, task)``.
+        Use it for a large context common to all tasks — a network
+        snapshot, a pattern matrix — that workers should not re-decode
+        per task.
 
         Raises:
             WorkerTaskError: a task raised in a worker; queued chunks are
@@ -656,6 +679,9 @@ class WarmPool:
         traced = obs_trace.is_enabled()
         profiled = obs_profile.is_profiling()
         func_bytes = pickle.dumps(func, protocol=pickle.HIGHEST_PROTOCOL)
+        shared_payload = (
+            None if shared is None else _encode_payload(shared, self._shm)
+        )
         chunks = plan_chunks(total, jobs)
         window = max(2, WINDOW_CHUNKS_PER_WORKER * jobs)
         results: list[Any] = [None] * total
@@ -674,8 +700,8 @@ class WarmPool:
                     for index in range(start, start + size)
                 ]
                 self._tasks.put(
-                    ("chunk", epoch, chunk_id, func_bytes, encoded, traced,
-                     profiled)
+                    ("chunk", epoch, chunk_id, func_bytes, shared_payload,
+                     encoded, traced, profiled)
                 )
                 pending[chunk_id] = (start, size)
                 next_chunk += 1

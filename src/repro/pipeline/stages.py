@@ -191,9 +191,12 @@ class CompleteDcStage:
     it by listing ``complete_dc`` between ``optimize`` and ``map`` in a
     pipeline config (or ``repro pipeline run --complete-dc``).  Per node
     it proposes DC candidates from random simulation, confirms them
-    exactly with shared-solver SAT queries, applies the ``dc_policy``
+    exactly with batched shared-solver SAT queries (``dc_batch``
+    candidates per incremental ``solve()``), applies the ``dc_policy``
     assignment and rebuilds the cover; nodes exhausting the query or
-    conflict budget fall back to the window-limited extractor.  Primary
+    conflict budget fall back to the window-limited extractor.  With
+    ``dc_jobs`` > 1 independent nodes are confirmed in parallel on the
+    warm worker pool — results stay bit-identical to serial.  Primary
     outputs are verified unchanged (packed compare per rewrite plus a
     final SAT miter), so every downstream artefact stays functionally
     identical and the stage can be toggled without invalidating results.
@@ -218,10 +221,18 @@ class CompleteDcStage:
         "dc_window",
         "dc_seed",
     )
+    # dc_jobs / dc_batch are read but deliberately NOT declared above:
+    # they are execution knobs whose results are bit-identical to the
+    # serial single-query run, so they must not change the checkpoint
+    # fingerprint (a jobs=4 resume reuses a jobs=1 checkpoint).
     version = "1"
 
     def run(self, ctx: FlowContext) -> None:
-        from ..synth.flexibility import CompleteDcReport, reassign_complete_dcs
+        from ..synth.flexibility import (
+            DEFAULT_BATCH_SIZE,
+            CompleteDcReport,
+            reassign_complete_dcs,
+        )
 
         network = ctx.require("network")
         if not ctx.param("complete_dc", True):
@@ -243,6 +254,8 @@ class CompleteDcStage:
                 conflict_budget=ctx.param("dc_conflict_budget", 10_000),
                 window_levels=ctx.param("dc_window", 2),
                 rng=np.random.default_rng(ctx.param("dc_seed", 0)),
+                jobs=ctx.param("dc_jobs", 1),
+                batch_size=ctx.param("dc_batch", DEFAULT_BATCH_SIZE),
             )
         ctx.set("network", network)
         ctx.set("complete_dc_report", report)

@@ -92,6 +92,34 @@ class CnfBuilder:
             self.add_clause([-literal, out])
         self.add_clause([-out, *literals])
 
+    def encode_cube_guard(self, literals) -> int:
+        """A fresh guard ``g`` with ``g -> AND(literals)``.
+
+        One-directional on purpose: the guard is only ever *assumed*
+        true, so the reverse implication would add clauses without
+        pruning anything.
+        """
+        guard = self.solver.new_var()
+        for literal in literals:
+            self.add_clause([-guard, int(literal)])
+        return guard
+
+    def encode_selector(self, guards) -> int:
+        """A fresh selector ``s`` with ``s -> OR(guards)``.
+
+        Assuming ``s`` forces at least one guard (hence one guarded cube)
+        true — the one-hot batching construction: a single ``solve([s])``
+        asks "is *any* of these candidate cubes reachable?".  Stale
+        selectors are simply never assumed again; their clauses stay
+        behind as satisfiable-by-default garbage.
+        """
+        guards = [int(g) for g in guards]
+        if not guards:
+            raise ValueError("selector over no guards")
+        selector = self.solver.new_var()
+        self.add_clause([-selector, *guards])
+        return selector
+
 
 def encode_network(builder: CnfBuilder, network: LogicNetwork, prefix: str = "") -> None:
     """Encode every node of *network*; signal ``s`` maps to ``prefix+s``.

@@ -14,6 +14,9 @@ The solver implements:
 * conflict-driven backtracking with simple clause learning
   (first-unique-implication-point resolution),
 * VSIDS-lite decision ordering (bump-on-conflict activity),
+* Luby-sequence restarts with phase saving (decisions re-use the last
+  polarity a variable was assigned, so a restart re-descends into the
+  same part of the search space at almost no cost),
 * sound incremental solving under assumptions, with an optional
   per-call conflict budget.
 
@@ -39,12 +42,33 @@ TestAssumptionSoundness`` for the minimal reproduction).
 
 from __future__ import annotations
 
-__all__ = ["SatSolver", "Satisfiable", "Unsatisfiable", "Unknown"]
+import heapq
+
+__all__ = ["SatSolver", "Satisfiable", "Unsatisfiable", "Unknown", "luby"]
 
 Satisfiable = True
 Unsatisfiable = False
 Unknown = None
 """Returned by :meth:`SatSolver.solve` when ``max_conflicts`` ran out."""
+
+RESTART_BASE = 64
+"""Conflicts allowed before the first restart; later restarts scale this
+by the Luby sequence (1, 1, 2, 1, 1, 2, 4, ...)."""
+
+
+def luby(index: int) -> int:
+    """The ``index``-th term (1-based) of the Luby sequence 1,1,2,1,1,2,4,...
+
+    Term ``2^k - 1`` is ``2^(k-1)``; any other index recurses into the
+    previous full subsequence.
+    """
+    if index < 1:
+        raise ValueError("luby() is 1-based")
+    while (index + 1) & index:  # until index == 2^k - 1
+        # Largest m with 2^m - 1 < index; drop the leading subsequence.
+        m = (index + 1).bit_length() - 1
+        index -= (1 << m) - 1
+    return (index + 1) >> 1
 
 
 class SatSolver:
@@ -56,6 +80,15 @@ class SatSolver:
         self._units: list[int] = []
         self._watches: dict[int, list[int]] = {}
         self._activity: dict[int, float] = {}
+        self._saved_phase: dict[int, bool] = {}
+        # Lazy max-heap over (-activity, var) for decision picking; stale
+        # entries are skipped on pop.  Persistent across solve() calls so
+        # incremental use stays O(new vars), not O(all vars), per call.
+        self._heap: list[tuple[float, int]] = []
+        self._heap_high_water = 0
+        self.total_conflicts = 0
+        self.total_restarts = 0
+        self.total_solves = 0
 
     # ---------------------------------------------------------------- input
 
@@ -119,6 +152,20 @@ class SatSolver:
         level_of: dict[int, int] = {}
         decisions: list[int] = []  # trail indices at each decision level
         conflicts = 0
+        conflicts_since_restart = 0
+        restart_number = 0
+        restart_limit = RESTART_BASE * luby(1)
+        prop_head = 0  # trail position up to which propagation is done
+        consumed: set[int] = set()  # vars whose heap entry was popped
+        self.total_solves += 1
+
+        # Seed heap entries for variables allocated since the last call.
+        while self._heap_high_water < self.num_vars:
+            self._heap_high_water += 1
+            variable = self._heap_high_water
+            heapq.heappush(
+                self._heap, (-self._activity.get(variable, 0.0), variable)
+            )
 
         def value(literal: int) -> bool | None:
             polarity = assign.get(abs(literal))
@@ -130,17 +177,25 @@ class SatSolver:
             current = value(literal)
             if current is not None:
                 return current
-            assign[abs(literal)] = literal > 0
-            level_of[abs(literal)] = len(decisions)
+            variable = abs(literal)
+            polarity = literal > 0
+            assign[variable] = polarity
+            self._saved_phase[variable] = polarity
+            level_of[variable] = len(decisions)
             trail.append((literal, reason))
             return True
 
         def propagate() -> int | None:
-            """Run unit propagation; return a conflicting clause index."""
-            head = 0
-            while head < len(trail):
-                literal, _ = trail[head]
-                head += 1
+            """Run unit propagation; return a conflicting clause index.
+
+            Resumes from where the previous call stopped (``prop_head``);
+            :func:`backtrack` rewinds the head with the trail, so work is
+            linear in enqueued literals rather than quadratic.
+            """
+            nonlocal prop_head
+            while prop_head < len(trail):
+                literal, _ = trail[prop_head]
+                prop_head += 1
                 falsified = -literal
                 watchers = self._watches.get(falsified, [])
                 index = 0
@@ -195,7 +250,9 @@ class SatSolver:
                     if variable in seen or value(literal) is not False:
                         continue
                     seen.add(variable)
-                    self._activity[variable] = self._activity.get(variable, 0.0) + 1.0
+                    bumped = self._activity.get(variable, 0.0) + 1.0
+                    self._activity[variable] = bumped
+                    heapq.heappush(self._heap, (-bumped, variable))
                     if level_of.get(variable, 0) >= current_level:
                         counter += 1
                     elif level_of.get(variable, 0) > 0:
@@ -221,12 +278,36 @@ class SatSolver:
             return learned, back_level
 
         def backtrack(level: int) -> None:
+            nonlocal prop_head
             while decisions and len(decisions) > level:
                 mark = decisions.pop()
                 while len(trail) > mark:
                     literal, _ = trail.pop()
-                    del assign[abs(literal)]
-                    del level_of[abs(literal)]
+                    variable = abs(literal)
+                    del assign[variable]
+                    del level_of[variable]
+                    if variable in consumed:
+                        # Freshly unassigned: restore its decision-heap
+                        # entry at the current activity.
+                        consumed.discard(variable)
+                        heapq.heappush(
+                            self._heap,
+                            (-self._activity.get(variable, 0.0), variable),
+                        )
+            prop_head = min(prop_head, len(trail))
+
+        def decide() -> int:
+            """Pop the highest-activity unassigned variable off the heap."""
+            while self._heap:
+                _, variable = heapq.heappop(self._heap)
+                consumed.add(variable)
+                if variable not in assign:
+                    return variable
+            # Defensive: the heap invariant should make this unreachable.
+            for variable in range(1, self.num_vars + 1):
+                if variable not in assign:
+                    return variable
+            raise AssertionError("decide() with a complete assignment")
 
         # Level 0 holds exactly the permanent unit clauses.
         for literal in self._units:
@@ -235,55 +316,82 @@ class SatSolver:
         if propagate() is not None:
             return Unsatisfiable, {}
 
-        while True:
-            if len(decisions) < len(assumption_literals):
-                # Establish the next assumption on its own decision level.
-                literal = assumption_literals[len(decisions)]
-                current = value(literal)
-                if current is False:
-                    return Unsatisfiable, {}
-                decisions.append(len(trail))
-                if current is None:
-                    enqueue(literal, None)
-            elif len(assign) >= self.num_vars:
-                model = {v: assign.get(v, False) for v in range(1, self.num_vars + 1)}
-                return Satisfiable, model
-            else:
-                # Decide: highest-activity unassigned variable.
-                decision = 0
-                best = -1.0
-                for variable in range(1, self.num_vars + 1):
-                    if variable not in assign:
-                        activity = self._activity.get(variable, 0.0)
-                        if activity > best:
-                            best = activity
-                            decision = variable
-                decisions.append(len(trail))
-                enqueue(decision, None)
+        try:
             while True:
-                conflict = propagate()
-                if conflict is None:
-                    break
-                if not decisions:
-                    return Unsatisfiable, {}
-                conflicts += 1
-                if max_conflicts is not None and conflicts > max_conflicts:
-                    return Unknown, {}
-                learned, back_level = analyze(conflict)
-                backtrack(back_level)
-                if len(learned) == 1:
-                    # A learned unit is derived from permanent clauses
-                    # only, so it may (and should) persist like any other
-                    # unit clause.
-                    self._units.append(learned[0])
-                    if not enqueue(learned[0], None):
+                if len(decisions) < len(assumption_literals):
+                    # Establish the next assumption on its own level.
+                    literal = assumption_literals[len(decisions)]
+                    current = value(literal)
+                    if current is False:
                         return Unsatisfiable, {}
+                    decisions.append(len(trail))
+                    if current is None:
+                        enqueue(literal, None)
+                elif len(assign) >= self.num_vars:
+                    model = {
+                        v: assign.get(v, False)
+                        for v in range(1, self.num_vars + 1)
+                    }
+                    return Satisfiable, model
                 else:
-                    index = len(self.clauses)
-                    # Watch the asserting literal and one from back_level.
-                    asserting = learned[-1]
-                    learned.sort(key=lambda l: l != asserting)
-                    self.clauses.append(learned)
-                    for literal in learned[:2]:
-                        self._watches.setdefault(literal, []).append(index)
-                    enqueue(asserting, index)
+                    # Decide: highest-activity unassigned variable, set to
+                    # its saved phase (last polarity held; default true).
+                    decision = decide()
+                    decisions.append(len(trail))
+                    if not self._saved_phase.get(decision, True):
+                        decision = -decision
+                    enqueue(decision, None)
+                restart = False
+                while True:
+                    conflict = propagate()
+                    if conflict is None:
+                        break
+                    if not decisions:
+                        return Unsatisfiable, {}
+                    conflicts += 1
+                    conflicts_since_restart += 1
+                    self.total_conflicts += 1
+                    if max_conflicts is not None and conflicts > max_conflicts:
+                        return Unknown, {}
+                    learned, back_level = analyze(conflict)
+                    if conflicts_since_restart >= restart_limit:
+                        # Luby restart: keep the learned clause, abandon
+                        # the current descent.  Phase saving makes the
+                        # re-descent cheap, and ``conflicts`` keeps
+                        # counting globally so ``max_conflicts`` semantics
+                        # are unchanged.
+                        restart_number += 1
+                        conflicts_since_restart = 0
+                        restart_limit = RESTART_BASE * luby(restart_number + 1)
+                        self.total_restarts += 1
+                        restart = True
+                    backtrack(0 if restart else back_level)
+                    if len(learned) == 1:
+                        # A learned unit is derived from permanent clauses
+                        # only, so it may (and should) persist like any
+                        # other unit clause.
+                        self._units.append(learned[0])
+                        if not enqueue(learned[0], None):
+                            return Unsatisfiable, {}
+                    else:
+                        index = len(self.clauses)
+                        # Watch the asserting literal + one at back_level.
+                        asserting = learned[-1]
+                        learned.sort(key=lambda l: l != asserting)
+                        self.clauses.append(learned)
+                        for literal in learned[:2]:
+                            self._watches.setdefault(literal, []).append(index)
+                        if not restart:
+                            # After a restart the clause need not be
+                            # asserting at level 0, so it must not force
+                            # its literal.
+                            enqueue(asserting, index)
+                    if restart:
+                        break
+        finally:
+            # Restore a heap entry for every variable whose entry was
+            # consumed this call, so the next call starts complete.
+            for variable in consumed:
+                heapq.heappush(
+                    self._heap, (-self._activity.get(variable, 0.0), variable)
+                )

@@ -18,36 +18,68 @@ don't-care candidates, and SAT queries confirm them exactly:
   confirmed *care* with no query at all — simulation refutes the
   candidate before SAT sees it.
 
-:class:`CompleteFlexibilityOracle` runs this for every node of a network
-against **one shared CNF encoding** (sound to reuse across queries since
-the solver keeps assumption-derived learned clauses conditional — see
-:mod:`repro.sat.solver`), with a per-node query budget and a per-query
-conflict budget; :func:`reassign_complete_dcs` is the full rewrite pass
-behind the ``complete_dc`` pipeline stage, falling back to the
-window-limited extractor (:func:`repro.synth.odc.node_flexibility` with
-``window_levels``) when a node exhausts its budgets.
+The engine behind :class:`CompleteFlexibilityOracle` is batched and
+incremental:
 
-The result is the same local :class:`~repro.core.spec.FunctionSpec` that
-the exhaustive path produces, computed without ever enumerating ``2^n``
-vectors.
+**Query batching.**  Unconfirmed candidates are grouped and a fresh
+one-hot selector (``s -> OR(cube guards)``) asks the solver whether *any*
+candidate in the batch is reachable (or observable) with a single
+``solve([s])``.  UNSAT confirms the whole batch at once; a SAT model
+names exactly one refuted candidate (the fanin values in the model),
+which is removed before the shrunken batch is re-queried.  Stale
+selectors are simply never assumed again.
+
+**Counterexample recycling.**  Every refuting model is a concrete PI
+vector; it is recorded and — at the next :meth:`flush_recycled` — packed
+into the shared simulation, so sibling candidates across *all* remaining
+nodes are pruned by simulation instead of reaching the solver.
+
+**Encoding and cone caching.**  The network CNF persists across
+rewrites: :meth:`notify_rewrite` bumps a version on every signal in the
+rewritten node's fanout cone and re-encodes only those covers under the
+new versioned names, leaving untouched logic (and all learned clauses)
+in place.  Per-node flip-cone miters are memoized keyed by their
+dependency fingerprint — the cone signals plus its side inputs — and
+evicted only when a rewrite dirties a dependency.
+
+**Unchanged results.**  Batching, recycling and caching change *how
+fast* answers arrive, never *which* answers: pattern statuses are exact
+semantic facts, and the per-node query budget is accounted the way the
+original sequential engine would have charged it (one query per
+unobserved-in-the-base-patterns candidate, plus one observability query
+per semantically reachable candidate, classified against the **base**
+pattern set only).  A node therefore falls back to the window-limited
+extractor on exactly the same inputs regardless of batch size, recycled
+patterns, or execution schedule — which is what keeps serial and
+parallel runs of :func:`reassign_complete_dcs` bit-identical.
+
+:func:`reassign_complete_dcs` partitions the topological order into
+contiguous *independent groups* (no member's fanout cone intersects
+another member's support), confirms a group's flexibilities against the
+group-start network state — serially, or fanned out across
+:mod:`repro.perf.pool` workers with work stealing — and applies the
+rewrites sequentially in topological order, so the schedule observed by
+every node is the same in both modes.
 """
 
 from __future__ import annotations
 
 import copy
 from dataclasses import dataclass
+from time import perf_counter
 
 import numpy as np
 
+from ..core.assignment import Assignment
 from ..core.cfactor import DEFAULT_THRESHOLD, cfactor_assignment
-from ..core.ranking import ranking_assignment
+from ..core.ranking import complete_assignment, ranking_assignment
 from ..core.spec import FunctionSpec
 from ..core.truthtable import DC, OFF, ON
 from ..espresso.cube import Cover
 from ..espresso.minimize import espresso
 from ..obs import metrics as obs_metrics
 from ..obs import span
-from ..sat.encode import CnfBuilder, encode_network, networks_equivalent
+from ..sat.encode import CnfBuilder, networks_equivalent
 from ..sim import packed as pk
 from ..sim.incremental import IncrementalNetworkSim
 from .network import LogicNetwork
@@ -57,6 +89,7 @@ __all__ = [
     "node_flexibility_sat",
     "CompleteFlexibilityOracle",
     "CompleteDcReport",
+    "plan_node_groups",
     "reassign_complete_dcs",
 ]
 
@@ -65,69 +98,52 @@ _FULL_SIM_MAX_PIS = 20
 for the per-rewrite output self-check and the window-limited baseline;
 beyond it only the final miter check and the SAT path remain."""
 
+DEFAULT_BATCH_SIZE = 16
+"""Candidates per one-hot selector batch.  Large enough that an UNSAT
+answer confirms a pile of candidates in one solve, small enough that the
+final complete-search UNSAT proof per batch stays shallow (the measured
+sweet spot on the benchmark circuits; 32 starts losing to the deeper
+selector refutations)."""
 
-def _encode_flip_copy(
-    builder: CnfBuilder,
-    network: LogicNetwork,
-    node_name: str,
-    prefix: str = "F_",
-) -> None:
-    """Encode a second copy of the fanout cone of *node_name* with the
-    node's value complemented (*prefix*); PIs and cone-external signals
-    are shared with the primary (``N_``-prefixed) encoding."""
-    fanouts = network.fanouts()
-    cone: set[str] = set()
-    stack = [node_name]
-    while stack:
-        current = stack.pop()
-        for reader in fanouts.get(current, []):
-            if reader not in cone:
-                cone.add(reader)
-                stack.append(reader)
+_ALL_ONES = np.uint64(0xFFFFFFFFFFFFFFFF)
 
-    def primary_name(signal: str) -> str:
-        return signal if signal in network.primary_inputs else "N_" + signal
+_GC_FACTOR = 1.3
+"""Compaction threshold: the persistent encoding is rebuilt from scratch
+once its clause count exceeds this multiple of a fresh encoding's (see
+:meth:`CompleteFlexibilityOracle._maybe_compact`)."""
 
-    def flipped_name(signal: str) -> str:
-        if signal == node_name or signal in cone:
-            return prefix + signal
-        return primary_name(signal)
 
-    # The flipped node value: F_node <-> not N_node.
-    original = builder.var("N_" + node_name)
-    flipped = builder.var(prefix + node_name)
-    builder.add_clause([original, flipped])
-    builder.add_clause([-original, -flipped])
-    for name in network.topological_order():
-        if name not in cone:
-            continue
-        node = network.nodes[name]
-        builder.encode_sop(
-            flipped_name(name), [flipped_name(f) for f in node.fanins], node.cover
-        )
+class _BudgetExhausted(Exception):
+    """Internal: a node hit its (legacy-accounted) query budget or an
+    inconclusive solve; the caller falls back to the window extractor."""
 
 
 class CompleteFlexibilityOracle:
     """Per-node complete flexibility via one shared incremental encoding.
 
-    One ``N_``-prefixed CNF copy of the network is built lazily and
-    shared by every node's queries; each queried node adds a private
-    flipped cone (``F<i>_`` prefix) plus a PO-difference indicator to the
-    same solver, so learned clauses accumulate across nodes.  A random
-    packed simulation (also shared) pre-classifies patterns so SAT only
-    sees genuine candidates.
+    One versioned CNF copy of the network is built lazily and shared by
+    every node's queries; each queried node adds a private flipped cone
+    (``F<i>_`` prefix) plus a PO-difference indicator to the same solver,
+    so learned clauses accumulate across nodes *and across rewrites*.  A
+    random packed simulation (also shared) pre-classifies patterns so SAT
+    only sees genuine candidates.
 
     After a node's cover is rewritten, call :meth:`notify_rewrite` — the
-    encoding is discarded and rebuilt on the next query while the random
-    simulation is refreshed incrementally.
+    dirtied cone is re-encoded under fresh signal versions (or, with
+    ``reuse_encodings=False``, the whole encoding is discarded) and the
+    simulation refreshed incrementally.
 
     Attributes:
         network: the analysed network (rewrites allowed between queries
             when announced via :meth:`notify_rewrite`).
-        query_budget: max SAT queries per node (``None`` = unlimited);
-            exhausting it makes :meth:`node_flexibility` return ``None``.
-        conflict_budget: per-query solver conflict cap (``None`` =
-            unlimited); an inconclusive query also returns ``None``.
+        query_budget: max SAT queries per node under the legacy
+            sequential accounting (``None`` = unlimited); exhausting it
+            makes :meth:`node_flexibility` return ``None``.
+        conflict_budget: per-solve conflict cap (``None`` = unlimited);
+            an inconclusive solve also returns ``None``.
+        batch_size: candidates per one-hot batch; ``<= 1`` issues one
+            plain cube-assumption query per candidate (the pre-batching
+            engine, kept as the benchmark baseline and fuzz oracle).
     """
 
     def __init__(
@@ -138,71 +154,248 @@ class CompleteFlexibilityOracle:
         rng: np.random.Generator | None = None,
         query_budget: int | None = None,
         conflict_budget: int | None = None,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+        reuse_encodings: bool = True,
+        recycle_counterexamples: bool = True,
+        vectors: np.ndarray | None = None,
+        base_vectors: int | None = None,
     ) -> None:
         self.network = network
-        self.simulation_vectors = simulation_vectors
         self.query_budget = query_budget
         self.conflict_budget = conflict_budget
-        rng = rng or np.random.default_rng(0)
-        vectors = (
-            rng.random((simulation_vectors, len(network.primary_inputs))) < 0.5
+        self.batch_size = batch_size
+        self.reuse_encodings = reuse_encodings
+        self.recycle_counterexamples = recycle_counterexamples
+        if vectors is None:
+            rng = rng or np.random.default_rng(0)
+            vectors = (
+                rng.random((simulation_vectors, len(network.primary_inputs)))
+                < 0.5
+            )
+            base_vectors = simulation_vectors
+        vectors = np.ascontiguousarray(np.asarray(vectors, dtype=bool))
+        self._vectors = vectors
+        self.base_vectors = (
+            vectors.shape[0] if base_vectors is None else base_vectors
         )
+        self.simulation_vectors = simulation_vectors
+        self._vector_keys = {row.tobytes() for row in vectors}
+        self._pending: list[np.ndarray] = []
         self.sim = IncrementalNetworkSim(
-            network, pk.pack_matrix(vectors), simulation_vectors
+            network, pk.pack_matrix(vectors), vectors.shape[0]
         )
+        self._base_mask = self._make_base_mask(vectors.shape[0])
         self._builder: CnfBuilder | None = None
-        self._flip_prefix: dict[str, str] = {}
+        self._version: dict[str, int] = {}
         self._any_diff: dict[str, int] = {}
+        self._flip_deps: dict[str, frozenset[str]] = {}
         self._flip_count = 0
+        self._restarts_seen = 0
+        self._fresh_clauses = 0
+
+    # ---------------------------------------------------------------- vectors
+
+    @property
+    def num_vectors(self) -> int:
+        """Installed simulation vectors (base + flushed counterexamples)."""
+        return self._vectors.shape[0]
+
+    @property
+    def vectors(self) -> np.ndarray:
+        """The installed PI pattern matrix (bool, vectors x inputs)."""
+        return self._vectors
+
+    def _make_base_mask(self, total: int) -> np.ndarray:
+        """Word mask selecting the first ``base_vectors`` vector bits."""
+        mask = np.zeros(pk.num_words(total), dtype=np.uint64)
+        full, rem = divmod(self.base_vectors, 64)
+        mask[:full] = _ALL_ONES
+        if rem and full < mask.shape[0]:
+            mask[full] = np.uint64((1 << rem) - 1)
+        return mask
+
+    def record_counterexamples(self, rows) -> int:
+        """Queue refuting PI vectors for the next :meth:`flush_recycled`.
+
+        Deduplicated against installed and already-pending vectors; used
+        both internally (every refuting model) and by the parallel driver
+        to merge counterexamples discovered in workers.
+        """
+        added = 0
+        for row in rows:
+            row = np.ascontiguousarray(np.asarray(row, dtype=bool))
+            key = row.tobytes()
+            if key in self._vector_keys:
+                continue
+            self._vector_keys.add(key)
+            self._pending.append(row)
+            added += 1
+        if added:
+            obs_metrics.counter("sat.cex_recycled").inc(added)
+        return added
+
+    def drain_counterexamples(self) -> list[np.ndarray]:
+        """Remove and return the pending counterexample rows (the worker
+        side of parallel recycling; keys stay so re-adds dedupe)."""
+        pending, self._pending = self._pending, []
+        return pending
+
+    def flush_recycled(self) -> int:
+        """Install pending counterexamples into the shared simulation.
+
+        Deliberately *not* automatic per refutation: the driver flushes at
+        group boundaries so serial and parallel schedules present every
+        node with the same simulation (results are invariant to the extra
+        patterns either way — see the module docstring — but keeping the
+        schedules aligned keeps performance comparable too).
+        """
+        if not self._pending:
+            return 0
+        added = len(self._pending)
+        self._vectors = np.ascontiguousarray(
+            np.vstack([self._vectors, np.array(self._pending, dtype=bool)])
+        )
+        self._pending = []
+        self.sim = IncrementalNetworkSim(
+            self.network, pk.pack_matrix(self._vectors), self._vectors.shape[0]
+        )
+        self._base_mask = self._make_base_mask(self._vectors.shape[0])
+        obs_metrics.counter("sat.cex_installed").inc(added)
+        return added
 
     # ------------------------------------------------------------- lifecycle
 
     def notify_rewrite(self, node_name: str) -> None:
-        """Announce that *node_name*'s cover changed: drop the stale CNF
-        encoding and refresh the node's simulation cone in place."""
-        self._builder = None
-        self._flip_prefix.clear()
-        self._any_diff.clear()
+        """Announce that *node_name*'s cover changed.
+
+        With ``reuse_encodings`` the rewritten fanout cone is re-encoded
+        under fresh signal versions — untouched logic and all learned
+        clauses persist — and only flip-cone miters whose dependency
+        fingerprint includes a dirtied signal are evicted.  Otherwise the
+        whole encoding is discarded (the pre-caching engine).  The node's
+        simulation cone is refreshed in place either way.
+        """
         self.sim.recompute(node_name)
+        if self._builder is None:
+            return
+        if not self.reuse_encodings:
+            self._builder = None
+            self._any_diff.clear()
+            self._flip_deps.clear()
+            return
+        dirty = self.network.fanout_cone(node_name)
+        dirty_set = set(dirty)
+        for signal in dirty:
+            self._version[signal] = self._version.get(signal, 0) + 1
+        builder = self._builder
+        for signal in dirty:  # already topologically ordered
+            node = self.network.nodes[signal]
+            builder.encode_sop(
+                self._signal_name(signal),
+                [self._signal_name(f) for f in node.fanins],
+                node.cover,
+            )
+        obs_metrics.counter("sat.reencoded_nodes").inc(len(dirty))
+        for cached in list(self._any_diff):
+            if self._flip_deps[cached] & dirty_set:
+                del self._any_diff[cached]
+                del self._flip_deps[cached]
+                obs_metrics.counter("sat.cone_cache_evictions").inc()
 
     # -------------------------------------------------------------- encoding
 
+    def _signal_name(self, signal: str) -> str:
+        if signal in self.network.primary_inputs:
+            return signal
+        version = self._version.get(signal, 0)
+        return f"N_{signal}" if version == 0 else f"N_{signal}@{version}"
+
     def _ensure_builder(self) -> CnfBuilder:
         if self._builder is None:
-            self._builder = CnfBuilder()
-            encode_network(self._builder, self.network, prefix="N_")
+            builder = CnfBuilder()
+            self._version.clear()
+            for name in self.network.topological_order():
+                node = self.network.nodes[name]
+                builder.encode_sop(
+                    self._signal_name(name),
+                    [self._signal_name(f) for f in node.fanins],
+                    node.cover,
+                )
+            self._builder = builder
+            self._fresh_clauses = len(builder.solver.clauses)
+            self._restarts_seen = 0
         return self._builder
 
-    def _signal_var(self, builder: CnfBuilder, signal: str) -> int:
-        if signal in self.network.primary_inputs:
-            return builder.var(signal)
-        return builder.var("N_" + signal)
+    def _maybe_compact(self) -> None:
+        """Rebuild the encoding once accumulated garbage dominates it.
+
+        The persistent CNF trades clause garbage (stale cone versions,
+        retired flip copies, spent batch guards) for learned-clause and
+        encoding reuse — but every satisfying assignment must still
+        assign the garbage variables, so an unbounded pile would make
+        each solve slower than the reuse saves.  When the clause count
+        passes ``_GC_FACTOR`` times a fresh encoding's, drop everything
+        and let the next query re-encode from scratch.  Only called
+        between nodes: mid-node state (fanin variables, guards, miters)
+        always refers to one builder generation.
+        """
+        if self._builder is None or not self.reuse_encodings:
+            return
+        if len(self._builder.solver.clauses) > _GC_FACTOR * max(
+            self._fresh_clauses, 1
+        ):
+            self._builder = None
+            self._any_diff.clear()
+            self._flip_deps.clear()
+            obs_metrics.counter("sat.encoding_compactions").inc()
 
     def _ensure_flip(self, node_name: str) -> int:
-        """Encode the node's flipped cone (once) -> the any-PO-differs var."""
+        """The node's any-PO-differs miter variable, memoized.
+
+        The cache key is the dependency fingerprint of the flip cone —
+        the cone signals plus every side input its covers read — kept
+        implicitly: :meth:`notify_rewrite` evicts entries whose
+        fingerprint gained a dirtied signal, so a present entry is always
+        current.
+        """
         cached = self._any_diff.get(node_name)
         if cached is not None:
+            obs_metrics.counter("sat.cone_cache_hits").inc()
             return cached
+        obs_metrics.counter("sat.cone_cache_misses").inc()
         builder = self._ensure_builder()
+        cone = self.network.fanout_cone(node_name)  # includes node_name
+        cone_set = set(cone)
         self._flip_count += 1
         prefix = f"F{self._flip_count}_"
-        self._flip_prefix[node_name] = prefix
-        _encode_flip_copy(builder, self.network, node_name, prefix=prefix)
 
-        fanouts = self.network.fanouts()
-        cone: set[str] = {node_name}
-        stack = [node_name]
-        while stack:
-            current = stack.pop()
-            for reader in fanouts.get(current, []):
-                if reader not in cone:
-                    cone.add(reader)
-                    stack.append(reader)
+        def flip_name(signal: str) -> str:
+            if signal in cone_set:
+                return prefix + signal
+            return self._signal_name(signal)
+
+        original = builder.var(self._signal_name(node_name))
+        flipped = builder.var(prefix + node_name)
+        builder.add_clause([original, flipped])
+        builder.add_clause([-original, -flipped])
+        deps = set(cone_set)
+        for name in cone:
+            if name == node_name:
+                continue
+            node = self.network.nodes[name]
+            builder.encode_sop(
+                flip_name(name), [flip_name(f) for f in node.fanins], node.cover
+            )
+            deps.update(
+                f
+                for f in node.fanins
+                if f not in self.network.primary_inputs
+            )
         difference_vars = []
         for signal in self.network.outputs.values():
-            if signal not in cone:
+            if signal not in cone_set:
                 continue  # this PO cannot change; skip
-            left = self._signal_var(builder, signal)
+            left = builder.var(self._signal_name(signal))
             right = builder.var(prefix + signal)
             diff = builder.solver.new_var()
             builder.encode_xor(diff, left, right)
@@ -210,16 +403,106 @@ class CompleteFlexibilityOracle:
         any_diff = builder.solver.new_var()
         builder.encode_or(any_diff, difference_vars)
         self._any_diff[node_name] = any_diff
+        self._flip_deps[node_name] = frozenset(deps)
         return any_diff
 
     # --------------------------------------------------------------- queries
 
-    def _solve(self, assumptions) -> bool | None:
+    def _solve(self, assumptions) -> tuple[bool | None, dict[int, bool]]:
+        solver = self._ensure_builder().solver
         obs_metrics.counter("sat.queries").inc()
-        sat, _ = self._ensure_builder().solver.solve(
+        started = perf_counter()
+        sat, model = solver.solve(
             assumptions, max_conflicts=self.conflict_budget
         )
-        return sat
+        obs_metrics.counter("sat.solve_seconds").inc(perf_counter() - started)
+        if solver.total_restarts != self._restarts_seen:
+            obs_metrics.counter("sat.restarts").inc(
+                solver.total_restarts - self._restarts_seen
+            )
+            self._restarts_seen = solver.total_restarts
+        return sat, model
+
+    def _model_row(self, builder: CnfBuilder, model: dict[int, bool]):
+        """The refuting model's PI vector (unconstrained PIs read false)."""
+        row = np.zeros(len(self.network.primary_inputs), dtype=bool)
+        for position, pi in enumerate(self.network.primary_inputs):
+            variable = builder.variable_of.get(pi)
+            if variable is not None:
+                row[position] = model.get(variable, False)
+        return row
+
+    def _cube_literals(self, fanin_vars, pattern: int) -> list[int]:
+        return [
+            var if (pattern >> j) & 1 else -var
+            for j, var in enumerate(fanin_vars)
+        ]
+
+    def _resolve_candidates(
+        self,
+        patterns,
+        fanin_vars,
+        extra,
+        guards: dict[int, int],
+        charge_refutation=None,
+    ) -> set[int]:
+        """Decide every candidate cube: returns the refuted (SAT) ones.
+
+        *extra* literals are assumed on every query (the observability
+        ``any_diff``).  *charge_refutation* is invoked per refutation for
+        the legacy budget accounting and may raise
+        :class:`_BudgetExhausted`; an inconclusive solve raises it too.
+        """
+        builder = self._ensure_builder()
+        refuted: set[int] = set()
+        if self.batch_size <= 1:
+            for pattern in patterns:
+                sat, model = self._solve(
+                    self._cube_literals(fanin_vars, pattern) + list(extra)
+                )
+                if sat is None:
+                    raise _BudgetExhausted
+                if sat:
+                    refuted.add(pattern)
+                    self._refuted(builder, model, pattern, charge_refutation)
+            return refuted
+        pending_all = list(patterns)
+        for start in range(0, len(pending_all), self.batch_size):
+            pending = pending_all[start:start + self.batch_size]
+            while pending:
+                for pattern in pending:
+                    if pattern not in guards:
+                        guards[pattern] = builder.encode_cube_guard(
+                            self._cube_literals(fanin_vars, pattern)
+                        )
+                selector = builder.encode_selector(
+                    [guards[pattern] for pattern in pending]
+                )
+                obs_metrics.counter("sat.batch_queries").inc()
+                sat, model = self._solve(list(extra) + [selector])
+                if sat is None:
+                    raise _BudgetExhausted
+                if not sat:
+                    break  # the whole batch is confirmed at once
+                pattern = 0
+                for j, var in enumerate(fanin_vars):
+                    if model.get(var, False):
+                        pattern |= 1 << j
+                if pattern not in pending:
+                    raise AssertionError(
+                        "batched model refutes no pending candidate"
+                    )
+                pending.remove(pattern)
+                refuted.add(pattern)
+                obs_metrics.counter("sat.batch_refutations").inc()
+                self._refuted(builder, model, pattern, charge_refutation)
+        return refuted
+
+    def _refuted(self, builder, model, pattern, charge_refutation) -> None:
+        if self.recycle_counterexamples:
+            self.record_counterexamples([self._model_row(builder, model)])
+        if charge_refutation is not None:
+            charge_refutation(pattern)
 
     def node_flexibility(self, node_name: str) -> FunctionSpec | None:
         """The node's complete local flexibility, or ``None`` on budget
@@ -229,6 +512,7 @@ class CompleteFlexibilityOracle:
             ValueError: for nodes wider than
                 :data:`~repro.synth.odc.MAX_EXHAUSTIVE_FANINS`.
         """
+        self._maybe_compact()
         node = self.network.nodes[node_name]
         k = len(node.fanins)
         if k > MAX_EXHAUSTIVE_FANINS:
@@ -237,70 +521,90 @@ class CompleteFlexibilityOracle:
                 f"enumerates 2^k patterns and is capped at "
                 f"{MAX_EXHAUSTIVE_FANINS} fanins"
             )
+        size = 1 << k
 
         # --- Simulation phase: observed patterns and sim-proven cares.
+        # The *_any views include recycled counterexamples (they prune
+        # solver work); the *_base views see only the base pattern set
+        # and drive the legacy-equivalent budget accounting.
         masks = pk.pattern_masks(
             [self.sim.values[fanin] for fanin in node.fanins],
-            self.simulation_vectors,
+            self.num_vectors,
         )
-        observed = np.any(masks != 0, axis=1)
         flip_diff = self.sim.flip_difference(node_name)
-        sim_care = np.any(masks & flip_diff, axis=1)
+        care_masks = masks & flip_diff
+        observed_any = np.any(masks != 0, axis=1)
+        care_any = np.any(care_masks != 0, axis=1)
+        observed_base = np.any(masks & self._base_mask, axis=1)
+        care_base = np.any(care_masks & self._base_mask, axis=1)
 
-        # --- SAT phase: shared encoding, assumptions per pattern query.
+        # Legacy charge — what the sequential single-query engine would
+        # have spent: one query per non-base-care pattern (reachability if
+        # base-unobserved, else observability), plus a second for every
+        # base-unobserved pattern that turns out semantically reachable.
+        # Reachability is known up front when a recycled vector witnesses
+        # it; SDC refutations below add the rest as they are discovered.
+        budget = self.query_budget
+        charge = int(np.count_nonzero(~care_base))
+        charge += int(np.count_nonzero(~observed_base & observed_any))
+
+        def fallback() -> None:
+            obs_metrics.counter("sat.fallbacks").inc()
+
+        if budget is not None and charge > budget:
+            fallback()  # decided before a single solve call
+            return None
+
         builder = self._ensure_builder()
-        any_diff = self._ensure_flip(node_name)
-        queries_used = 0
+        fanin_vars = [
+            builder.var(self._signal_name(fanin)) for fanin in node.fanins
+        ]
+        guards: dict[int, int] = {}
+
+        def charge_reachable(_pattern: int) -> None:
+            nonlocal charge
+            charge += 1
+            if budget is not None and charge > budget:
+                raise _BudgetExhausted
+
+        try:
+            # --- SDC phase: is any never-observed pattern reachable?
+            unknown = [p for p in range(size) if not observed_any[p]]
+            reachable_extra = self._resolve_candidates(
+                unknown, fanin_vars, (), guards,
+                charge_refutation=charge_reachable,
+            )
+            # --- ODC phase: is any reachable pattern observable?
+            odc_candidates = [
+                p
+                for p in range(size)
+                if not care_any[p]
+                and (observed_any[p] or p in reachable_extra)
+            ]
+            any_diff = (
+                self._ensure_flip(node_name) if odc_candidates else None
+            )
+            observable_extra = self._resolve_candidates(
+                odc_candidates, fanin_vars,
+                (any_diff,) if any_diff is not None else (), guards,
+            )
+        except _BudgetExhausted:
+            fallback()
+            return None
+
+        confirmed = (len(unknown) - len(reachable_extra)) + (
+            len(odc_candidates) - len(observable_extra)
+        )
+        obs_metrics.counter("sat.confirmations").inc(confirmed)
+        obs_metrics.counter("sat.refutations").inc(
+            len(reachable_extra) + len(observable_extra)
+        )
 
         local_table = node.cover.evaluate()
-        phases = np.full(1 << k, DC, dtype=np.uint8)
-        for local_pattern in range(1 << k):
-            if sim_care[local_pattern]:
-                # Simulation exhibited an observable flip: the DC
-                # candidate is refuted without touching the solver.
-                phases[local_pattern] = (
-                    ON if local_table[local_pattern] else OFF
-                )
-                continue
-            pattern_assumptions = []
-            for position, fanin in enumerate(node.fanins):
-                variable = self._signal_var(builder, fanin)
-                bit = (local_pattern >> position) & 1
-                pattern_assumptions.append(variable if bit else -variable)
-            if not observed[local_pattern]:
-                # SDC candidate: is the pattern reachable at all?
-                if (
-                    self.query_budget is not None
-                    and queries_used >= self.query_budget
-                ):
-                    obs_metrics.counter("sat.fallbacks").inc()
-                    return None
-                queries_used += 1
-                reachable = self._solve(pattern_assumptions)
-                if reachable is None:
-                    obs_metrics.counter("sat.fallbacks").inc()
-                    return None
-                if not reachable:
-                    obs_metrics.counter("sat.confirmations").inc()
-                    continue  # confirmed SDC
-                obs_metrics.counter("sat.refutations").inc()
-            # Reachable: is the node observable under this pattern?
-            if (
-                self.query_budget is not None
-                and queries_used >= self.query_budget
-            ):
-                obs_metrics.counter("sat.fallbacks").inc()
-                return None
-            queries_used += 1
-            observable = self._solve(pattern_assumptions + [any_diff])
-            if observable is None:
-                obs_metrics.counter("sat.fallbacks").inc()
-                return None
-            if not observable:
-                obs_metrics.counter("sat.confirmations").inc()
-                continue  # confirmed ODC
-            obs_metrics.counter("sat.refutations").inc()
-            phases[local_pattern] = ON if local_table[local_pattern] else OFF
+        phases = np.full(size, DC, dtype=np.uint8)
+        for pattern in range(size):
+            if care_any[pattern] or pattern in observable_extra:
+                phases[pattern] = ON if local_table[pattern] else OFF
         return FunctionSpec(
             phases[None, :],
             name=f"{node_name}/local-sat",
@@ -346,6 +650,141 @@ def node_flexibility_sat(
     return spec
 
 
+# --------------------------------------------------------------- scheduling
+
+
+def plan_node_groups(
+    network: LogicNetwork, names: list[str]
+) -> list[list[str]]:
+    """Partition *names* (topologically ordered candidates) into
+    independent waves whose group-at-a-time schedule provably matches
+    the strictly sequential one.
+
+    A node's flexibility is a pure function of the *global functions* of
+    its support — the transitive fanin of its fanout cone, i.e. every
+    signal its reachability and observability queries can read.  A
+    rewrite of node *b* can only change the functions of signals in
+    ``TFO(b)`` — and not even all of those: primary-output functions are
+    invariant across the whole pass (every rewrite is verified
+    output-preserving), so a PO-driving signal keeps its function no
+    matter how often cones below it are rewritten.  The effective
+    dependency is therefore
+
+        ``b -> n  iff  b precedes n and (TFO(b) \\ PO-drivers)``
+        ``intersects support(n)``
+
+    Longest-path layering of that DAG yields the waves: every node lands
+    one wave after the last rewrite that could influence it, so
+    computing a whole wave's flexibilities against the wave-start
+    network sees exactly the rewrites the sequential schedule would —
+    and the rewrites themselves commute across waves for the same
+    reason, making the apply order irrelevant to the final network.
+
+    Unlike a contiguous split of the topological order, waves batch
+    *distant* independent cones together, which is what gives the pool
+    something to chew on in dense networks.
+    """
+    po_drivers = set(network.outputs.values())
+    waves: list[list[str]] = []
+    wave_of: dict[str, int] = {}
+    perturbed: list[set[str]] = []  # changed-signal union per prior node
+    names = list(names)
+    for name in names:
+        tfo = set(network.fanout_cone(name))
+        support = network.fanin_support(tfo)
+        wave = 0
+        for earlier_name, changed in zip(names, perturbed):
+            if changed & support:
+                wave = max(wave, wave_of[earlier_name] + 1)
+        wave_of[name] = wave
+        perturbed.append(tfo - po_drivers)
+        while len(waves) <= wave:
+            waves.append([])
+        waves[wave].append(name)
+    return [wave for wave in waves if wave]
+
+
+@dataclass(frozen=True)
+class _GroupPayload:
+    """Everything a pool worker needs to confirm one group's nodes:
+    the group-start network snapshot, the installed pattern matrix, and
+    the oracle parameters.  Shipped once per group via ``map(shared=)``
+    and decoded once per worker."""
+
+    network: LogicNetwork
+    vectors: np.ndarray
+    base_vectors: int
+    query_budget: int | None
+    conflict_budget: int | None
+    batch_size: int
+    recycle_counterexamples: bool
+
+
+def _support_subnetwork(
+    network: LogicNetwork, name: str
+) -> tuple[LogicNetwork, list[int]]:
+    """The induced subnetwork a node's flexibility queries can read.
+
+    Keeps exactly ``support(TFO(name))`` — the node's fanout cone, every
+    signal transitively feeding it, and the primary outputs the cone
+    drives.  The node's reachability, observability, simulation
+    classification, and budget accounting over this subnetwork are
+    *identical* to the full network's (they are functions of the kept
+    signals only), so a pool worker can answer from the cone alone
+    instead of encoding the whole design.
+
+    Returns the subnetwork and the kept primary inputs' positions in the
+    full input list (for slicing pattern matrices and re-expanding
+    counterexample vectors).
+    """
+    tfo = set(network.fanout_cone(name))
+    keep = network.fanin_support(tfo)
+    pi_positions = [
+        idx for idx, pi in enumerate(network.primary_inputs) if pi in keep
+    ]
+    sub = LogicNetwork(
+        [network.primary_inputs[idx] for idx in pi_positions]
+    )
+    for node_name in network.topological_order():
+        if node_name in keep:
+            node = network.nodes[node_name]
+            sub.add_node(node_name, list(node.fanins), node.cover)
+    for out_name, signal in network.outputs.items():
+        if signal in tfo:
+            sub.set_output(out_name, signal)
+    return sub, pi_positions
+
+
+def _confirm_node_task(payload: _GroupPayload, name: str):
+    """Pool task: one node's flexibility against the group snapshot.
+
+    Builds a cone-restricted oracle — encoding cost proportional to the
+    node's support, not the design — and returns
+    ``(name, phases-or-None, counterexample rows)`` as raw data,
+    reassembled into specs parent-side.  Counterexamples are expanded
+    back to full-width PI vectors (unkept inputs read false, matching
+    the solver's default for unconstrained variables).
+    """
+    network = payload.network
+    sub, pi_positions = _support_subnetwork(network, name)
+    oracle = CompleteFlexibilityOracle(
+        sub,
+        vectors=payload.vectors[:, pi_positions],
+        base_vectors=payload.base_vectors,
+        query_budget=payload.query_budget,
+        conflict_budget=payload.conflict_budget,
+        batch_size=payload.batch_size,
+        recycle_counterexamples=payload.recycle_counterexamples,
+    )
+    spec = oracle.node_flexibility(name)
+    rows = []
+    for row in oracle.drain_counterexamples():
+        full = np.zeros(len(network.primary_inputs), dtype=bool)
+        full[pi_positions] = row
+        rows.append(full.tolist())
+    return (name, None if spec is None else spec.phases[0], rows)
+
+
 @dataclass(frozen=True)
 class CompleteDcReport:
     """Result of a SAT-complete internal-DC reassignment pass.
@@ -364,6 +803,10 @@ class CompleteDcReport:
             the window-limited extraction instead.
         error_rate_before / error_rate_after: internal error rates
             (``nan`` when the PI space is too large to simulate).
+        node_groups: independent groups the topological order split into.
+        parallel_groups: groups whose confirmation ran on the pool.
+        recycled_patterns: refuting models installed as simulation
+            patterns.
     """
 
     nodes_considered: int
@@ -375,6 +818,9 @@ class CompleteDcReport:
     sat_fallback_nodes: int
     error_rate_before: float
     error_rate_after: float
+    node_groups: int = 0
+    parallel_groups: int = 0
+    recycled_patterns: int = 0
 
 
 def reassign_complete_dcs(
@@ -389,6 +835,11 @@ def reassign_complete_dcs(
     conflict_budget: int | None = 10_000,
     window_levels: int = 2,
     rng: np.random.Generator | None = None,
+    jobs: int = 1,
+    batch_size: int = DEFAULT_BATCH_SIZE,
+    reuse_encodings: bool = True,
+    recycle_counterexamples: bool = True,
+    progress=None,
 ) -> CompleteDcReport:
     """Reassign every node's *complete* internal DCs for reliability.
 
@@ -397,9 +848,16 @@ def reassign_complete_dcs(
     ``complete_dc`` pipeline stage: per node, simulation proposes DC
     candidates, shared-solver SAT queries confirm them exactly, the
     chosen policy assigns the confirmed flexibility, and ESPRESSO
-    rebuilds the cover.  Nodes are processed one at a time in
-    topological order and the oracle re-synchronised after each rewrite,
-    so later nodes see flexibilities consistent with earlier decisions.
+    rebuilds the cover.
+
+    Nodes are scheduled as contiguous independent groups of the
+    topological order (:func:`plan_node_groups`): a group's flexibilities
+    are confirmed against the group-start network — serially or, with
+    ``jobs > 1``, fanned out across the warm worker pool — and the
+    rewrites applied sequentially, so every node sees flexibilities
+    consistent with all earlier decisions and the result is bit-identical
+    to the strictly sequential schedule (and to the parallel one; see the
+    module docstring).
 
     A node that exhausts *query_budget* or *conflict_budget* falls back
     to the window-limited extractor (depth *window_levels*) when the PI
@@ -413,29 +871,44 @@ def reassign_complete_dcs(
 
     Args:
         network: network to rewrite (mutated).
-        policy: ``"cfactor"`` (Fig. 7) or ``"ranking"`` (Fig. 3).
+        policy: any of the evaluation's four assignment policies —
+            ``"cfactor"`` (Fig. 7), ``"ranking"`` (Fig. 3),
+            ``"complete"`` (assign every confirmed DC), or
+            ``"conventional"`` (assign none; ESPRESSO exploits the
+            confirmed flexibility freely).
         threshold: LC^f threshold for the cfactor policy.
         fraction: fraction of the ranked list for the ranking policy.
         max_fanins: skip (with ``complete_dc.wide_nodes_skipped``) nodes
             with more fanins than this.
         simulation_vectors: random vectors for candidate proposal.
         query_budget: max SAT queries per node (``None`` = unlimited).
-        conflict_budget: per-query conflict cap (``None`` = unlimited).
+        conflict_budget: per-solve conflict cap (``None`` = unlimited).
         window_levels: fanout-window depth of the fallback extractor.
         rng: random generator for the simulation phase.
+        jobs: worker processes for group confirmation (``1`` = serial).
+        batch_size: candidates per one-hot SAT batch (``1`` = unbatched).
+        reuse_encodings: keep the CNF across rewrites (versioned cones).
+        recycle_counterexamples: feed refuting models back into the
+            proposal simulation at group boundaries.
+        progress: optional ``(done, total)`` callback over considered
+            nodes.
 
     Raises:
         ValueError: on unknown policies, or if a rewrite changes the
             primary outputs (which would indicate an ODC or solver bug).
     """
-    if policy not in ("cfactor", "ranking"):
+    if policy not in ("conventional", "ranking", "cfactor", "complete"):
         raise ValueError(f"unknown policy {policy!r}")
-    pristine = copy.deepcopy(network)
+    from ..perf.pool import get_pool, pool_enabled
+
     full_sim: IncrementalNetworkSim | None = None
     reference = None
+    pristine = None
     if len(network.primary_inputs) <= _FULL_SIM_MAX_PIS:
         full_sim = IncrementalNetworkSim(network)
         reference = full_sim.output_words().copy()
+    else:
+        pristine = copy.deepcopy(network)
     before = (
         internal_error_rate(network, sim=full_sim)
         if full_sim is not None
@@ -447,61 +920,155 @@ def reassign_complete_dcs(
         rng=rng,
         query_budget=query_budget,
         conflict_budget=conflict_budget,
+        batch_size=batch_size,
+        reuse_encodings=reuse_encodings,
+        recycle_counterexamples=recycle_counterexamples,
     )
+    candidates = []
+    for name in network.topological_order():
+        if len(network.nodes[name].fanins) > max_fanins:
+            obs_metrics.counter("complete_dc.wide_nodes_skipped").inc()
+            continue
+        candidates.append(name)
+    groups = plan_node_groups(network, candidates)
+    use_pool = jobs > 1 and pool_enabled()
+
     considered = 0
     changed = 0
     assigned_total = 0
     complete_minterms = 0
     window_minterms = 0
     fallback_nodes = 0
+    parallel_groups = 0
+    recycled_total = 0
+    total = len(candidates)
+    done = 0
     with span(
         "flexibility.reassign_complete",
         nodes=len(network.nodes),
         policy=policy,
+        jobs=jobs,
+        groups=len(groups),
     ):
-        for name in list(network.topological_order()):
-            node = network.nodes[name]
-            if len(node.fanins) > max_fanins:
-                obs_metrics.counter("complete_dc.wide_nodes_skipped").inc()
-                continue
-            considered += 1
-            local = oracle.node_flexibility(name)
-            if local is None:
-                fallback_nodes += 1
-                if full_sim is None:
-                    continue  # no sound fallback without full simulation
-                local = node_flexibility(
-                    network, name, sim=full_sim, window_levels=window_levels
+        for group in groups:
+            # --- Confirmation phase: group members are independent, so
+            # their flexibilities against the group-start network equal
+            # the sequential schedule's.
+            confirm_start = perf_counter()
+            locals_by_name: dict[str, FunctionSpec | None] = {}
+            if use_pool and len(group) > 1:
+                parallel_groups += 1
+                obs_metrics.counter("complete_dc.parallel_nodes").inc(
+                    len(group)
                 )
-            local_dcs = int(np.count_nonzero(local.phases == DC))
-            complete_minterms += local_dcs
-            if full_sim is not None:
-                window_local = node_flexibility(
-                    network, name, sim=full_sim, window_levels=window_levels
+                payload = _GroupPayload(
+                    network=network,
+                    vectors=oracle.vectors,
+                    base_vectors=oracle.base_vectors,
+                    query_budget=query_budget,
+                    conflict_budget=conflict_budget,
+                    batch_size=batch_size,
+                    recycle_counterexamples=recycle_counterexamples,
                 )
-                window_minterms += int(
-                    np.count_nonzero(window_local.phases == DC)
+                base_done = done
+                sub_progress = None
+                if progress is not None:
+                    def sub_progress(d, _t, _base=base_done):
+                        progress(_base + d, total)
+                outcomes = get_pool(jobs).map(
+                    _confirm_node_task, list(group), jobs,
+                    progress=sub_progress, shared=payload,
                 )
-            if not local_dcs:
-                continue
-            if policy == "cfactor":
-                assignment = cfactor_assignment(local, threshold)
+                for name, phases, rows in outcomes:
+                    if phases is None:
+                        locals_by_name[name] = None
+                    else:
+                        node = network.nodes[name]
+                        locals_by_name[name] = FunctionSpec(
+                            np.asarray(phases, dtype=np.uint8)[None, :],
+                            name=f"{name}/local-sat",
+                            input_names=tuple(node.fanins),
+                            output_names=(name,),
+                        )
+                    if rows:
+                        oracle.record_counterexamples(rows)
+                done = base_done + len(group)
+                if progress is not None:
+                    progress(done, total)
             else:
-                assignment = ranking_assignment(local, fraction)
-            assigned = assignment.apply(local) if len(assignment) else local
-            on_cover = Cover.from_minterms(len(node.fanins), assigned.on_set(0))
-            dc_cover = Cover.from_minterms(len(node.fanins), assigned.dc_set(0))
-            node.cover = espresso(on_cover, dc_cover)
-            changed += 1
-            assigned_total += len(assignment)
-            oracle.notify_rewrite(name)
-            if full_sim is not None:
-                full_sim.recompute(name)
-                if not bool(np.array_equal(full_sim.output_words(), reference)):
-                    raise ValueError(
-                        f"rewriting node {name!r} changed the primary outputs"
+                for name in group:
+                    locals_by_name[name] = oracle.node_flexibility(name)
+                    done += 1
+                    if progress is not None:
+                        progress(done, total)
+            obs_metrics.counter("complete_dc.confirm_seconds").inc(
+                perf_counter() - confirm_start
+            )
+            # --- Apply phase: strictly sequential, in topological order.
+            for name in group:
+                node = network.nodes[name]
+                considered += 1
+                local = locals_by_name[name]
+                window_local = None
+                if local is None:
+                    fallback_nodes += 1
+                    if full_sim is None:
+                        continue  # no sound fallback without full sim
+                    local = node_flexibility(
+                        network, name, sim=full_sim,
+                        window_levels=window_levels,
                     )
-        if not networks_equivalent(pristine, network):
+                    window_local = local  # fallback IS the window answer
+                local_dcs = int(np.count_nonzero(local.phases == DC))
+                complete_minterms += local_dcs
+                if full_sim is not None:
+                    if window_local is None:
+                        window_local = node_flexibility(
+                            network, name, sim=full_sim,
+                            window_levels=window_levels,
+                        )
+                    window_minterms += int(
+                        np.count_nonzero(window_local.phases == DC)
+                    )
+                if not local_dcs:
+                    continue
+                if policy == "cfactor":
+                    assignment = cfactor_assignment(local, threshold)
+                elif policy == "ranking":
+                    assignment = ranking_assignment(local, fraction)
+                elif policy == "complete":
+                    assignment = complete_assignment(local)
+                else:  # conventional: leave the DCs to ESPRESSO
+                    assignment = Assignment()
+                assigned = (
+                    assignment.apply(local) if len(assignment) else local
+                )
+                on_cover = Cover.from_minterms(
+                    len(node.fanins), assigned.on_set(0)
+                )
+                dc_cover = Cover.from_minterms(
+                    len(node.fanins), assigned.dc_set(0)
+                )
+                node.cover = espresso(on_cover, dc_cover)
+                changed += 1
+                assigned_total += len(assignment)
+                oracle.notify_rewrite(name)
+                if full_sim is not None:
+                    full_sim.recompute(name)
+                    if not bool(
+                        np.array_equal(full_sim.output_words(), reference)
+                    ):
+                        raise ValueError(
+                            f"rewriting node {name!r} changed the primary "
+                            "outputs"
+                        )
+            # --- Recycling boundary: counterexamples become simulation
+            # patterns for every later group, in both execution modes.
+            recycled_total += oracle.flush_recycled()
+        # With a full-space simulator every rewrite was already verified
+        # by exhaustive packed compare — strictly stronger than a miter.
+        # The SAT miter is the safety net for networks too wide for it.
+        if pristine is not None and not networks_equivalent(pristine, network):
             raise ValueError(
                 "complete-DC reassignment changed the primary outputs "
                 "(SAT miter check)"
@@ -518,6 +1085,9 @@ def reassign_complete_dcs(
     obs_metrics.counter("complete_dc.window_dc_minterms").inc(window_minterms)
     obs_metrics.counter("complete_dc.dc_delta").inc(delta)
     obs_metrics.counter("complete_dc.fallback_nodes").inc(fallback_nodes)
+    obs_metrics.counter("complete_dc.groups").inc(len(groups))
+    obs_metrics.counter("complete_dc.parallel_groups").inc(parallel_groups)
+    obs_metrics.counter("complete_dc.recycled_patterns").inc(recycled_total)
     return CompleteDcReport(
         nodes_considered=considered,
         nodes_changed=changed,
@@ -528,4 +1098,7 @@ def reassign_complete_dcs(
         sat_fallback_nodes=fallback_nodes,
         error_rate_before=before,
         error_rate_after=after,
+        node_groups=len(groups),
+        parallel_groups=parallel_groups,
+        recycled_patterns=recycled_total,
     )

@@ -178,6 +178,68 @@ class LogicNetwork:
             }
         return {name: list(readers) for name, readers in self._fanout_cache.items()}
 
+    def fanout_cone(self, name: str) -> list[str]:
+        """Transitive fanout of *name*, including *name*, in topological
+        order.  *name* must be an internal node."""
+        if name not in self.nodes:
+            raise ValueError(f"not an internal node: {name!r}")
+        fanouts = self.fanouts()
+        cone = {name}
+        stack = [name]
+        while stack:
+            for reader in fanouts[stack.pop()]:
+                if reader not in cone:
+                    cone.add(reader)
+                    stack.append(reader)
+        return [n for n in self.topological_order() if n in cone]
+
+    def fanout_window(self, name: str, levels: int) -> set[str]:
+        """BFS fanout neighbourhood of *name* up to *levels* levels deep,
+        including *name*.
+
+        This is the window the window-limited observability analysis
+        (:func:`repro.synth.odc.node_flexibility` with ``window_levels``)
+        judges flip propagation in; capped at the transitive fanout cone.
+
+        Raises:
+            ValueError: if *name* is not an internal node, or
+                *levels* < 1.
+        """
+        if name not in self.nodes:
+            raise ValueError(f"not an internal node: {name!r}")
+        if levels < 1:
+            raise ValueError(f"levels must be >= 1, got {levels}")
+        fanouts = self.fanouts()
+        window = {name}
+        frontier = [name]
+        for _ in range(levels):
+            grown: list[str] = []
+            for signal in frontier:
+                for reader in fanouts[signal]:
+                    if reader not in window:
+                        window.add(reader)
+                        grown.append(reader)
+            if not grown:
+                break
+            frontier = grown
+        return window
+
+    def fanin_support(self, signals) -> set[str]:
+        """All signals (internal nodes *and* primary inputs) that
+        transitively feed any of *signals*, including the signals
+        themselves."""
+        support: set[str] = set()
+        stack = list(signals)
+        while stack:
+            signal = stack.pop()
+            if signal in support:
+                continue
+            support.add(signal)
+            node = self.nodes.get(signal)
+            if node is not None:
+                stack.extend(node.fanins)
+        return support
+
     def sweep_dangling(self) -> int:
         """Remove nodes that feed neither an output nor another node.
 

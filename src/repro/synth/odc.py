@@ -32,8 +32,9 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..core.assignment import Assignment
 from ..core.cfactor import DEFAULT_THRESHOLD, cfactor_assignment
-from ..core.ranking import ranking_assignment
+from ..core.ranking import complete_assignment, ranking_assignment
 from ..core.spec import FunctionSpec
 from ..core.truthtable import DC, OFF, ON
 from ..espresso.cube import Cover
@@ -110,16 +111,7 @@ def _window_observability(
     if window_levels < 1:
         raise ValueError(f"window_levels must be >= 1, got {window_levels}")
     fanouts = network.fanouts()
-    window = {node_name}
-    frontier = [node_name]
-    for _ in range(window_levels):
-        grown: list[str] = []
-        for signal in frontier:
-            for reader in fanouts.get(signal, []):
-                if reader not in window:
-                    window.add(reader)
-                    grown.append(reader)
-        frontier = grown
+    window = network.fanout_window(node_name, window_levels)
     po_signals = set(network.outputs.values())
     observation = [
         signal
@@ -303,7 +295,9 @@ def reassign_internal_dcs(
 
     Args:
         network: network to rewrite (mutated).
-        policy: ``"cfactor"`` (Fig. 7) or ``"ranking"`` (Fig. 3).
+        policy: ``"cfactor"`` (Fig. 7), ``"ranking"`` (Fig. 3),
+            ``"complete"`` (assign every DC for masking), or
+            ``"conventional"`` (leave the DCs to ESPRESSO).
         threshold: LC^f threshold for the cfactor policy.
         fraction: fraction of the ranked list for the ranking policy.
         max_fanins: fanin budget for the exhaustive extractor.
@@ -319,7 +313,7 @@ def reassign_internal_dcs(
             rewrite changes the primary outputs (which would indicate an
             ODC bug).
     """
-    if policy not in ("cfactor", "ranking"):
+    if policy not in ("conventional", "ranking", "cfactor", "complete"):
         raise ValueError(f"unknown policy {policy!r}")
     if wide_nodes not in ("skip", "sat"):
         raise ValueError(f"unknown wide_nodes mode {wide_nodes!r}")
@@ -349,8 +343,12 @@ def reassign_internal_dcs(
                 continue
             if policy == "cfactor":
                 assignment = cfactor_assignment(local, threshold)
-            else:
+            elif policy == "ranking":
                 assignment = ranking_assignment(local, fraction)
+            elif policy == "complete":
+                assignment = complete_assignment(local)
+            else:  # conventional: leave the DCs to ESPRESSO
+                assignment = Assignment()
             assigned = assignment.apply(local) if len(assignment) else local
             on_cover = Cover.from_minterms(len(node.fanins), assigned.on_set(0))
             dc_cover = Cover.from_minterms(len(node.fanins), assigned.dc_set(0))

@@ -1,6 +1,7 @@
 """Tests for cross-run comparison and regression gating (repro.obs.regress)."""
 
 from repro.obs.regress import (
+    DEFAULT_STAGE_TOLERANCE,
     DEFAULT_WALL_TOLERANCE,
     compare_runs,
     format_comparison,
@@ -9,13 +10,14 @@ from repro.obs.regress import (
 from repro.obs.store import RunRecord
 
 
-def _run(run_id="run-a", duration=1.0, quality=None):
+def _run(run_id="run-a", duration=1.0, quality=None, stages=None):
     return RunRecord(
         run_id=run_id,
         created_at="2026-08-08T00:00:00Z",
         command="sweep",
         duration_seconds=duration,
         quality=quality if quality is not None else [_point()],
+        stage_timings=stages or {},
     )
 
 
@@ -69,6 +71,64 @@ class TestWallClock:
         baseline = _run(duration=1.0)
         candidate = _run(run_id="run-b", duration=1.25)
         assert compare_runs(baseline, candidate, wall_tolerance=0.5).ok
+
+
+def _stages(seconds, stage="complete_dc", runs=1):
+    return {stage: {"seconds": seconds, "runs": runs}}
+
+
+class TestStageTimings:
+    def test_stage_slowdown_fails_with_named_stage(self):
+        baseline = _run(stages=_stages(1.0))
+        candidate = _run(run_id="run-b",
+                         stages=_stages(1.0 + 2 * DEFAULT_STAGE_TOLERANCE))
+        comparison = compare_runs(baseline, candidate)
+        assert not comparison.ok
+        (regression,) = comparison.regressions
+        assert regression.kind == "stage"
+        assert regression.name == "stage_seconds [complete_dc]"
+        assert "complete_dc" in format_comparison(comparison)
+
+    def test_slowdown_within_tolerance_passes(self):
+        baseline = _run(stages=_stages(1.0))
+        candidate = _run(run_id="run-b",
+                         stages=_stages(1.0 + 0.5 * DEFAULT_STAGE_TOLERANCE))
+        assert compare_runs(baseline, candidate).ok
+
+    def test_stage_speedup_never_fails(self):
+        comparison = compare_runs(
+            _run(stages=_stages(2.0)), _run(run_id="run-b",
+                                            stages=_stages(0.5))
+        )
+        assert comparison.ok
+        assert comparison.stages["complete_dc"]["ratio"] == 0.25
+
+    def test_sub_noise_floor_stages_not_compared(self):
+        assert compare_runs(
+            _run(stages=_stages(0.010)),
+            _run(run_id="run-b", stages=_stages(0.040)),
+        ).ok
+
+    def test_stage_absent_from_candidate_ignored(self):
+        # The candidate not running a stage (e.g. restored from a
+        # checkpoint) is not a timing regression.
+        assert compare_runs(
+            _run(stages=_stages(1.0)), _run(run_id="run-b")
+        ).ok
+
+    def test_only_shared_stages_compared(self):
+        baseline = _run(stages={**_stages(1.0), **_stages(1.0, "map")})
+        candidate = _run(run_id="run-b",
+                         stages={**_stages(1.0), **_stages(5.0, "map")})
+        comparison = compare_runs(baseline, candidate)
+        (regression,) = comparison.regressions
+        assert regression.name == "stage_seconds [map]"
+        assert set(comparison.stages) == {"complete_dc", "map"}
+
+    def test_custom_stage_tolerance(self):
+        baseline = _run(stages=_stages(1.0))
+        candidate = _run(run_id="run-b", stages=_stages(2.0))
+        assert compare_runs(baseline, candidate, stage_tolerance=1.5).ok
 
 
 class TestQuality:

@@ -5,7 +5,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.sat.solver import SatSolver
+from repro.sat.solver import SatSolver, luby
 
 
 def check_model(clauses, model) -> bool:
@@ -152,6 +152,59 @@ class TestConflictBudget:
         solver.solve(assumptions=[1], max_conflicts=1)
         sat, _ = solver.solve(assumptions=[-1, 2, 3])
         assert sat
+
+
+class TestRestartsAndPhases:
+    def test_luby_sequence(self):
+        assert [luby(i) for i in range(1, 16)] == [
+            1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8,
+        ]
+        with pytest.raises(ValueError):
+            luby(0)
+
+    def _php(self, pigeons, holes):
+        solver = SatSolver()
+        def var(p, h):
+            return p * holes + h + 1
+        for p in range(pigeons):
+            solver.add_clause([var(p, h) for h in range(holes)])
+        for h in range(holes):
+            for p1 in range(pigeons):
+                for p2 in range(p1 + 1, pigeons):
+                    solver.add_clause([-var(p1, h), -var(p2, h)])
+        return solver
+
+    def test_restarts_fire_and_stay_correct(self):
+        solver = self._php(7, 6)
+        sat, _ = solver.solve()
+        assert sat is False
+        # PHP(7 -> 6) needs well over RESTART_BASE conflicts, so at
+        # least one Luby restart must have fired without changing the
+        # verdict.
+        assert solver.total_restarts >= 1
+        assert solver.total_conflicts > 64
+
+    def test_restart_preserves_max_conflicts_budget(self):
+        solver = self._php(7, 6)
+        sat, model = solver.solve(max_conflicts=70)
+        # The budget is a global conflict count, not per-restart: 70
+        # conflicts exceed the first restart limit (64) but are nowhere
+        # near enough for PHP(7 -> 6).
+        assert sat is None
+        assert model == {}
+        sat, _ = solver.solve()
+        assert sat is False
+
+    def test_phase_saving_records_last_polarity(self):
+        solver = SatSolver()
+        solver.add_clause([-1, -2])
+        sat, model = solver.solve(assumptions=[1])
+        assert sat and model[1] is True and model[2] is False
+        assert solver._saved_phase[2] is False
+        # Unassumed, decisions re-use the saved phases.
+        sat, model = solver.solve()
+        assert sat
+        assert model[2] is False
 
 
 class TestPigeonhole:

@@ -182,6 +182,141 @@ class TestReassignComplete:
         )
 
 
+def _network_snapshot(net: LogicNetwork) -> dict:
+    return {
+        name: (tuple(node.fanins), node.cover.cubes.tobytes())
+        for name, node in net.nodes.items()
+    }
+
+
+class TestBatching:
+    @given(st.integers(0, 10**9))
+    @settings(max_examples=8, deadline=None)
+    def test_batched_matches_single_query(self, seed):
+        """One-hot selector batching is a pure query-plan change: the
+        confirmed flexibility must equal the one-cube-per-solve path."""
+        single_net = random_multilevel(seed)
+        batched_net = random_multilevel(seed)
+        single = CompleteFlexibilityOracle(
+            single_net, simulation_vectors=16,
+            rng=np.random.default_rng(seed), batch_size=1,
+        )
+        batched = CompleteFlexibilityOracle(
+            batched_net, simulation_vectors=16,
+            rng=np.random.default_rng(seed), batch_size=16,
+        )
+        for name in list(single_net.nodes):
+            np.testing.assert_array_equal(
+                batched.node_flexibility(name).phases,
+                single.node_flexibility(name).phases,
+                err_msg=name,
+            )
+
+    def test_batch_queries_counted(self):
+        net = random_multilevel(13)
+        before = obs_metrics.counter("sat.batch_queries").value
+        oracle = CompleteFlexibilityOracle(
+            net, simulation_vectors=4, batch_size=8
+        )
+        for name in list(net.nodes):
+            oracle.node_flexibility(name)
+        assert obs_metrics.counter("sat.batch_queries").value > before
+
+
+def _ballasted_network() -> LogicNetwork:
+    """g,t,y,u plus a large ballast SOP.
+
+    The ballast keeps the fresh encoding big enough that one extra flip
+    copy stays under the compaction threshold, so the flip-cone cache's
+    hit/evict behaviour is observable instead of being reset by GC.
+    """
+    net = LogicNetwork(["a", "b", "c", "d", "e"])
+    net.add_node("g", ["c"], Cover.from_strings(["1"]))
+    net.add_node("t", ["a", "b"], Cover.from_strings(["11"]))
+    net.add_node("y", ["t", "g"], Cover.from_strings(["11"]))
+    net.add_node("u", ["d", "e"], Cover.from_strings(["11"]))
+    rng = np.random.default_rng(0)
+    rows = rng.choice([0, 1, 2], size=(48, 4), p=[0.4, 0.4, 0.2])
+    net.add_node("ballast", ["a", "b", "c", "d"],
+                 Cover(rows.astype(np.uint8), 4))
+    net.set_output("out", "y")
+    net.set_output("aux", "u")
+    net.set_output("bal", "ballast")
+    return net
+
+
+class TestConeCache:
+    def test_rewrite_evicts_only_dirty_cones(self):
+        """notify_rewrite must invalidate the cached flip-cone encodings
+        of the rewritten node's fanout cone — and nothing else."""
+        net = _ballasted_network()
+        oracle = CompleteFlexibilityOracle(net, simulation_vectors=2)
+        misses = obs_metrics.counter("sat.cone_cache_misses").value
+        for name in ("t", "u"):
+            oracle.node_flexibility(name)
+        assert obs_metrics.counter("sat.cone_cache_misses").value > misses
+        evictions = obs_metrics.counter("sat.cone_cache_evictions").value
+        hits = obs_metrics.counter("sat.cone_cache_hits").value
+        net.nodes["g"].cover = Cover.empty(1)
+        net.invalidate_structure_caches()
+        oracle.notify_rewrite("g")
+        # t's flip cone reads g (through y) — evicted; u's does not.
+        assert obs_metrics.counter("sat.cone_cache_evictions").value > evictions
+        assert list(oracle.node_flexibility("t").dc_set(0)) == [0, 1, 2, 3]
+        oracle.node_flexibility("u")
+        assert obs_metrics.counter("sat.cone_cache_hits").value > hits
+
+    def test_cache_hit_on_repeat_query(self):
+        net = _ballasted_network()
+        oracle = CompleteFlexibilityOracle(net, simulation_vectors=2)
+        misses = obs_metrics.counter("sat.cone_cache_misses").value
+        first = oracle.node_flexibility("t")
+        assert obs_metrics.counter("sat.cone_cache_misses").value > misses
+        hits = obs_metrics.counter("sat.cone_cache_hits").value
+        again = oracle.node_flexibility("t")
+        assert obs_metrics.counter("sat.cone_cache_hits").value > hits
+        np.testing.assert_array_equal(first.phases, again.phases)
+
+
+class TestParallelReassign:
+    @pytest.mark.parametrize(
+        "policy", ["conventional", "ranking", "cfactor", "complete"]
+    )
+    def test_parallel_bit_identical_to_serial(self, policy):
+        """jobs=2 must produce byte-for-byte the networks (and counts)
+        of the serial pass, for every assignment policy."""
+        serial_net = random_multilevel(21)
+        parallel_net = random_multilevel(21)
+        serial = reassign_complete_dcs(
+            serial_net, policy=policy, rng=np.random.default_rng(7)
+        )
+        parallel = reassign_complete_dcs(
+            parallel_net, policy=policy, rng=np.random.default_rng(7), jobs=2
+        )
+        assert _network_snapshot(serial_net) == _network_snapshot(parallel_net)
+        assert (
+            serial.complete_dc_minterms,
+            serial.window_dc_minterms,
+            serial.nodes_changed,
+            serial.dc_entries_assigned,
+        ) == (
+            parallel.complete_dc_minterms,
+            parallel.window_dc_minterms,
+            parallel.nodes_changed,
+            parallel.dc_entries_assigned,
+        )
+
+    def test_progress_callback_reports_completion(self):
+        net = random_multilevel(22)
+        calls: list[tuple[int, int]] = []
+        reassign_complete_dcs(net, progress=lambda d, t: calls.append((d, t)))
+        assert calls
+        done, total = calls[-1]
+        assert done == total == len(
+            [n for n in net.nodes if len(net.nodes[n].fanins) <= 10]
+        )
+
+
 class TestKnownCases:
     def test_blocked_node_fully_flexible(self):
         """t feeding an AND with constant 0 is never observable."""
