@@ -23,6 +23,15 @@ Commands
     re-parameterised run resumes from the last valid stage output.
 ``pipeline stages``
     List the registered pipeline stages (also in ``info --json``).
+``bench <scenario> ... [--jobs J|auto] [--out FILE]``
+    Run named scenarios (benchmark set × fault model × policies, see
+    ``docs/scenarios.md``) through the pipeline on the warm pool and
+    merge the results into the ``BENCH_scenarios.json`` matrix;
+    ``bench --list`` prints the scenario registry.
+``report <file.pla|name> [--policy P] [--distances K ...] [--burst W]``
+    Synthesise once and print the implementation's error rate under
+    several fault models: exact single-bit, exact multi-bit/burst, and
+    the packed Monte-Carlo estimate of the single-bit rate.
 ``obs runs|show|compare|regressions|export``
     Query the telemetry ledger: list recorded runs, inspect one,
     compare two, or gate on drift — ``obs regressions --baseline
@@ -120,8 +129,10 @@ def _ledger_info() -> dict:
 
 
 def _cmd_info(args: argparse.Namespace) -> int:
+    from .faults import describe_fault_models
     from .perf import executor_config
     from .pipeline import stage_names
+    from .scenarios import describe_scenarios
 
     spec = _load_spec(args.benchmark)
     bounds = exact_error_bounds(spec)
@@ -136,6 +147,8 @@ def _cmd_info(args: argparse.Namespace) -> int:
             "exact_error_min": bounds.lo,
             "exact_error_max": bounds.hi,
             "pipeline_stages": stage_names(),
+            "fault_models": describe_fault_models(),
+            "scenarios": describe_scenarios(),
             "executor": executor_config("auto"),
             "ledger": _ledger_info(),
         }, indent=2, sort_keys=True))
@@ -647,6 +660,110 @@ def _cmd_obs_export(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from .scenarios import (
+        describe_scenarios,
+        get_scenario,
+        run_scenario,
+        write_scenario_matrix,
+    )
+
+    if args.list or not args.scenarios:
+        if not args.list and not args.scenarios:
+            print("no scenario named; registered scenarios:", file=sys.stderr)
+        rows = [
+            [entry["name"], entry["fault_model"]["model"], entry["points"],
+             entry["description"]]
+            for entry in describe_scenarios()
+        ]
+        print(format_table(["scenario", "fault model", "points", "description"],
+                           rows))
+        return 0 if args.list else 2
+    try:
+        scenarios = [get_scenario(name) for name in args.scenarios]
+    except KeyError as error:
+        raise SystemExit(f"bench: {error.args[0]}") from None
+    session = getattr(args, "_obs_session", None)
+    results = []
+    for scenario in scenarios:
+        jobs = _resolve_jobs_arg(args.jobs, points=scenario.num_points())
+        progress = (
+            session.progress_reporter(
+                total=scenario.num_points(), label=scenario.name
+            )
+            if session is not None
+            else None
+        )
+        result = run_scenario(
+            scenario, jobs=jobs, progress=progress,
+            checkpoint_dir=args.checkpoint_dir,
+        )
+        results.append(result)
+        if session is not None:
+            session.record_quality(
+                [point.quality_dict() for point in result.points]
+            )
+    matrix = write_scenario_matrix(args.out, results)
+    if args.json:
+        print(json.dumps(matrix, indent=2, sort_keys=True))
+        return 0
+    rows = []
+    for result in results:
+        for point in result.points:
+            rows.append([
+                result.scenario.name, point.benchmark, point.policy,
+                point.parameter, point.error_rate, point.area, point.gates,
+            ])
+    print(format_table(
+        ["scenario", "benchmark", "policy", "param", "error", "area", "gates"],
+        rows, precision=5,
+    ))
+    print(f"wrote {len(results)} scenario(s) to {args.out}")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from .flows.report import error_model_report
+    from .synth.compile_ import compile_spec
+
+    spec = _load_spec(args.benchmark)
+    assigned, _ = apply_policy(
+        spec, args.policy, fraction=args.fraction, threshold=args.threshold
+    )
+    synthesis = compile_spec(
+        assigned, objective=args.objective, source_spec=spec
+    )
+    report = error_model_report(
+        synthesis.implemented,
+        spec,
+        synthesis.netlist,
+        distances=args.distances,
+        burst_width=args.burst,
+        samples=args.samples,
+        seed=args.seed,
+    )
+    if args.json:
+        print(json.dumps({
+            "benchmark": spec.name,
+            "policy": args.policy,
+            "objective": args.objective,
+            "area": synthesis.area,
+            "gates": synthesis.num_gates,
+            "error_models": report,
+        }, indent=2, sort_keys=True))
+        return 0
+    rows = []
+    for row in report:
+        detail = ""
+        if "stderr" in row:
+            detail = (f"± {row['stderr']:.5f} stderr, "
+                      f"{row['samples']} samples")
+        rows.append([row["model"], row["rate"], detail])
+    print(format_table(["fault model", "error rate", "detail"], rows,
+                       precision=5))
+    return 0
+
+
 def _cmd_gen(args: argparse.Namespace) -> int:
     spec = generate_spec(
         args.name,
@@ -884,6 +1001,45 @@ def _build_parser() -> argparse.ArgumentParser:
                           help="benchmark names (default: a fast subset)")
     _add_jobs_arg(p_export)
     p_export.set_defaults(func=_cmd_export)
+
+    p_bench = add_parser(
+        "bench", help="run named scenarios (benchmarks × fault model × policies)"
+    )
+    p_bench.add_argument("scenarios", nargs="*", metavar="SCENARIO",
+                         help="registered scenario names (see --list)")
+    p_bench.add_argument("--list", action="store_true",
+                         help="print the scenario registry and exit")
+    _add_jobs_arg(p_bench)
+    p_bench.add_argument("--out", default="BENCH_scenarios.json", metavar="FILE",
+                         help="scenario matrix to merge results into "
+                              "(default %(default)s)")
+    p_bench.add_argument("--checkpoint-dir", default=None,
+                         help="content-addressed stage checkpoint directory "
+                              "shared by all scenario points")
+    p_bench.add_argument("--json", action="store_true",
+                         help="print the merged matrix as JSON")
+    p_bench.set_defaults(func=_cmd_bench)
+
+    p_report = add_parser(
+        "report", help="one implementation's error rate under several fault models"
+    )
+    p_report.add_argument("benchmark")
+    add_policy_args(p_report)
+    p_report.add_argument("--objective", default="area",
+                          choices=["delay", "power", "area"])
+    p_report.add_argument("--distances", type=int, nargs="*", default=[2],
+                          metavar="K",
+                          help="multi-bit Hamming distances to report "
+                               "(default: 2)")
+    p_report.add_argument("--burst", type=int, default=None, metavar="W",
+                          help="also report the burst model of this width")
+    p_report.add_argument("--samples", type=int, default=20_000,
+                          help="Monte-Carlo samples (default %(default)s)")
+    p_report.add_argument("--seed", type=int, default=0,
+                          help="Monte-Carlo seed (default %(default)s)")
+    p_report.add_argument("--json", action="store_true",
+                          help="machine-readable report")
+    p_report.set_defaults(func=_cmd_report)
 
     p_gen = add_parser("gen", help="generate a synthetic benchmark")
     p_gen.add_argument("--name", default="synthetic")

@@ -1,12 +1,14 @@
-"""Monte-Carlo estimation of the single-bit input-error rate.
+"""Monte-Carlo estimation of the input-error rate.
 
 The exact error model of :mod:`repro.core.reliability` enumerates the full
 input space — perfect at the paper's benchmark sizes but impossible beyond
 ~20 inputs.  This module estimates the same quantity by sampling: draw a
-random input vector and a random input pin, evaluate the circuit on both
-the correct and the corrupted vector, and count output changes.  Works
-against any evaluator (network, netlist, or plain function), so it scales
-the methodology to circuits of arbitrary width.
+random input vector and a random fault (by default the paper's single
+pin flip; any input-scope :class:`~repro.faults.FaultModel` can supply
+the corruption masks instead), evaluate the circuit on both the correct
+and the corrupted vector, and count output changes.  Works against any
+evaluator (network, netlist, or plain function), so it scales the
+methodology to circuits of arbitrary width.
 
 Sampling runs in the packed domain: input vectors are drawn directly as
 uint64 words (64 vectors per word, one row per input) and pin flips are
@@ -79,14 +81,15 @@ def estimate_error_rate(
     batch: int = 4096,
     packed_evaluate: PackedEvaluator | None = None,
     max_draw_factor: int = 64,
+    fault_model=None,
 ) -> MonteCarloEstimate:
-    """Sample the single-bit input-error rate of a circuit.
+    """Sample the input-error rate of a circuit under a fault model.
 
     Args:
         evaluate: boolean circuit evaluator (see :data:`Evaluator`); may
             be ``None`` when *packed_evaluate* is given.
         num_inputs: number of circuit inputs.
-        samples: target number of admissible (vector, flipped-pin) trials
+        samples: target number of admissible (vector, fault) trials
             (see "Sample accounting" in the module docstring).
         rng: random generator (default: fresh, seeded 0 for determinism).
         source_filter: optional predicate over boolean input batches
@@ -99,6 +102,12 @@ def estimate_error_rate(
             packed domain end to end and *evaluate* is ignored.
         max_draw_factor: raw-draw budget per requested sample when a
             *source_filter* is active.
+        fault_model: an input-scope :class:`~repro.faults.FaultModel`
+            (or declarative spec for one) that generates the packed
+            corruption masks; default: the single-bit pin flip, whose
+            mask generation — and therefore RNG consumption — is
+            identical to the historical inline draw, so existing seeded
+            estimates are unchanged.
 
     Returns:
         A :class:`MonteCarloEstimate`.  With a source filter so tight that
@@ -106,8 +115,8 @@ def estimate_error_rate(
         estimate is 0 with ``samples == 0``.
 
     Raises:
-        ValueError: on non-positive sample or input counts, or when no
-            evaluator is supplied.
+        ValueError: on non-positive sample or input counts, when no
+            evaluator is supplied, or for a node-scope *fault_model*.
     """
     if num_inputs <= 0:
         raise ValueError("num_inputs must be positive")
@@ -115,6 +124,16 @@ def estimate_error_rate(
         raise ValueError("samples must be positive")
     if evaluate is None and packed_evaluate is None:
         raise ValueError("an evaluator is required (evaluate or packed_evaluate)")
+    if fault_model is not None:
+        from ..faults import create_fault_model
+
+        fault_model = create_fault_model(fault_model)
+        if fault_model.scope != "input":
+            raise ValueError(
+                f"fault model {fault_model.name!r} has scope "
+                f"{fault_model.scope!r}; input-vector sampling needs an "
+                f"input-scope model"
+            )
     rng = rng or np.random.default_rng(0)
     word_max = np.iinfo(np.uint64).max
     disagreements = 0  # differing (output, vector) table entries
@@ -131,10 +150,16 @@ def estimate_error_rate(
             0, word_max, size=(num_inputs, words), dtype=np.uint64, endpoint=True
         )
         pk.zero_tail(vector_words, count)
-        pins = rng.integers(num_inputs, size=count)
-        onehot = np.zeros((count, num_inputs), dtype=bool)
-        onehot[np.arange(count), pins] = True
-        corrupted_words = vector_words ^ pk.pack_matrix(onehot)
+        if fault_model is None:
+            # Inline single-bit draw, kept verbatim for seed stability
+            # (SingleBitInput.corruption_words replicates it exactly).
+            pins = rng.integers(num_inputs, size=count)
+            onehot = np.zeros((count, num_inputs), dtype=bool)
+            onehot[np.arange(count), pins] = True
+            masks = pk.pack_matrix(onehot)
+        else:
+            masks = fault_model.corruption_words(rng, num_inputs, count)
+        corrupted_words = vector_words ^ masks
         admissible = None
         if source_filter is not None:
             vectors = pk.unpack_matrix(vector_words, count).T

@@ -238,35 +238,31 @@ def multibit_error_rate(
     *,
     spec: FunctionSpec | None = None,
 ) -> float:
-    """Error rate for *distance*-bit input errors.
+    """Error rate for *distance*-bit input errors (deprecated).
 
-    The paper argues single-bit errors dominate; this extension measures
-    resilience to exactly-*k*-bit flips: the probability that a uniformly
-    random error of Hamming weight *k* on a uniformly random admissible
-    vector propagates.  ``distance=1`` reduces to :func:`error_rate`.
+    .. deprecated::
+        The enumeration now lives in the fault-model layer; use
+        ``repro.faults.MultiBitInput(distance).error_rate(impl, spec=...)``.
+        This shim delegates there (numerically identical) and emits a
+        :class:`DeprecationWarning`.
 
     Raises:
         ValueError: if *distance* is outside ``[1, num_inputs]``.
     """
-    from itertools import combinations
+    import warnings
 
+    from ..faults import MultiBitInput
+
+    warnings.warn(
+        "multibit_error_rate is deprecated; use "
+        "repro.faults.MultiBitInput(distance).error_rate",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     n = impl.num_inputs
     if not 1 <= distance <= n:
         raise ValueError(f"distance must lie in [1, {n}], got {distance}")
-    source = (spec or impl).care_mask()
-    phases = impl.phases
-    idx = np.arange(impl.num_minterms)
-    events = np.zeros(phases.shape[:-1], dtype=np.int64)
-    patterns = 0
-    for bits in combinations(range(n), distance):
-        error = 0
-        for bit in bits:
-            error |= 1 << bit
-        nb = phases[..., idx ^ error]
-        flips = ((phases == ON) & (nb == OFF)) | ((phases == OFF) & (nb == ON))
-        events += np.count_nonzero(flips & source, axis=-1)
-        patterns += 1
-    return float(np.mean(events / (patterns * impl.num_minterms)))
+    return MultiBitInput(distance).error_rate(impl, spec=spec)
 
 
 def spec_error_rate(spec: FunctionSpec) -> float:

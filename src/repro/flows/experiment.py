@@ -113,6 +113,7 @@ def run_flow(
     threshold: float = DEFAULT_THRESHOLD,
     objective: str = "delay",
     library: Library | None = None,
+    fault_model=None,
     checkpoint: CheckpointStore | None = None,
     checkpoint_dir: str | os.PathLike | None = None,
 ) -> FlowResult:
@@ -122,10 +123,20 @@ def run_flow(
     ``checkpoint`` / ``checkpoint_dir`` set, per-stage outputs are
     persisted content-addressed, so repeated or interrupted runs skip
     every stage whose inputs and parameters are unchanged.
+
+    ``fault_model`` selects the ``measure`` stage's error semantics — a
+    registry name, spec dict or :class:`~repro.faults.FaultModel`
+    (default: the paper's single-bit input flip, bit-identical to the
+    pre-fault-model flow).  The spec is canonicalised before it enters
+    the pipeline parameters so equivalent specs share checkpoints.
     """
     obs_metrics.counter("flow.runs").inc()
     if checkpoint is None and checkpoint_dir is not None:
         checkpoint = CheckpointStore(checkpoint_dir)
+    if fault_model is not None:
+        from ..faults import create_fault_model
+
+        fault_model = create_fault_model(fault_model).spec_dict()
     pipe = Pipeline(
         DEFAULT_STAGES,
         name="flow",
@@ -135,6 +146,7 @@ def run_flow(
             "threshold": threshold,
             "objective": objective,
             "library": library,
+            "fault_model": fault_model,
         },
         checkpoint=checkpoint,
     )
@@ -179,6 +191,7 @@ def sampled_error_rate(
     samples: int = 20_000,
     rng: np.random.Generator | None = None,
     source_filter: Callable[[np.ndarray], np.ndarray] | None = None,
+    fault_model=None,
 ) -> MonteCarloEstimate:
     """Monte-Carlo input-error rate of a mapped netlist, fully packed.
 
@@ -190,11 +203,13 @@ def sampled_error_rate(
 
     Args:
         netlist: the mapped implementation to measure.
-        samples: target number of admissible (vector, flipped-pin) trials
+        samples: target number of admissible (vector, fault) trials
             (see :func:`repro.core.montecarlo.estimate_error_rate`).
         rng: random generator (default: fresh, seeded 0).
         source_filter: optional admissibility predicate over boolean input
             batches (e.g. the original care set).
+        fault_model: input-scope fault model or declarative spec for the
+            corruption masks (default: the single-bit pin flip).
     """
     num_inputs = len(netlist.primary_inputs)
     obs_metrics.counter("flow.mc_runs").inc()
@@ -206,4 +221,5 @@ def sampled_error_rate(
             rng=rng,
             source_filter=source_filter,
             packed_evaluate=packed_netlist_evaluator(netlist),
+            fault_model=fault_model,
         )

@@ -29,8 +29,10 @@ Six stages reproduce the fixed recipe that used to be hard-coded across
     objective (no-op for ``power`` / ``area``).
 ``measure``
     Care-set equivalence self-check, static timing, power analysis and
-    the exact input-error rate against the *source* spec's care set,
-    packaged as a :class:`~repro.synth.compile_.SynthesisResult`.
+    the exact error rate under the configured fault model (default:
+    the paper's single-bit input flip against the *source* spec's care
+    set; see :mod:`repro.faults`), packaged as a
+    :class:`~repro.synth.compile_.SynthesisResult`.
 
 The stage bodies are the canonical implementation: ``run_flow``,
 ``compile_spec`` and ``compile_network`` are thin drivers that assemble
@@ -44,7 +46,6 @@ import numpy as np
 from ..core.assignment import Assignment
 from ..core.cfactor import DEFAULT_THRESHOLD, cfactor_assignment
 from ..core.ranking import complete_assignment, ranking_assignment
-from ..core.reliability import error_rate
 from ..core.spec import FunctionSpec
 from ..espresso.minimize import minimize_spec
 from ..obs import metrics as obs_metrics
@@ -316,21 +317,32 @@ class MeasureStage:
     function the netlist was synthesised from); the error rate draws its
     error sources from the care set of the *source* spec, exactly as the
     paper measures reliability-driven partial assignments.
+
+    The ``fault_model`` parameter (a registry name or spec dict, see
+    :mod:`repro.faults`) selects the error semantics and is folded into
+    the checkpoint key.  Input-scope models measure the implemented
+    truth table against the source care set; node-scope models (e.g.
+    ``stuck_at``) measure the optimised logic network instead, where
+    internal signals exist.  The default ``single_bit`` model delegates
+    to :func:`repro.core.reliability.error_rate` and is bit-identical
+    to the historical hard-wired measurement.
     """
 
     name = "measure"
     inputs = ("netlist", "network", "assigned_spec", "spec")
     outputs = ("implemented", "synthesis")
-    params = ()
-    version = "1"
+    params = ("fault_model",)
+    version = "2"
 
     def run(self, ctx: FlowContext) -> None:
+        from ..faults import create_fault_model
         from ..synth.compile_ import SynthesisResult
 
         netlist = ctx.require("netlist")
         network = ctx.require("network")
         assigned = ctx.require("assigned_spec")
         source = ctx.get("spec", assigned)
+        model = create_fault_model(ctx.param("fault_model", None) or "single_bit")
         with span("synth.selfcheck"):
             implemented = netlist.to_spec(name=f"{assigned.name}/impl")
             if not assigned.equivalent_within_dc(implemented):
@@ -344,6 +356,11 @@ class MeasureStage:
             power = power_analysis(netlist)
         obs_metrics.counter("synth.networks_compiled").inc()
         obs_metrics.counter("synth.gates_mapped").inc(netlist.num_gates)
+        with span("synth.error_rate", fault_model=model.name):
+            if model.scope == "node":
+                measured_rate = model.network_error_rate(network)
+            else:
+                measured_rate = model.error_rate(implemented, spec=source)
         synthesis = SynthesisResult(
             netlist=netlist,
             area=netlist.area,
@@ -351,7 +368,7 @@ class MeasureStage:
             power=power.total,
             num_gates=netlist.num_gates,
             literals=network.num_literals,
-            error_rate=error_rate(implemented, spec=source),
+            error_rate=measured_rate,
             implemented=implemented,
         )
         ctx.set("implemented", implemented)

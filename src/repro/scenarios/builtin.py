@@ -1,0 +1,94 @@
+"""The built-in scenario roster.
+
+A small, CI-runnable matrix: the paper's own single-bit model over all
+four assignment policies, one scenario per new fault model (multi-bit,
+burst, internal stuck-at), and a generator-backed synthetic scenario
+demonstrating that scenarios need not come from the Table-1 roster.
+Benchmarks are deliberately the two smallest Table-1 stand-ins (6
+inputs) so a full ``repro bench`` of the default roster stays in CI
+smoke-test territory; heavier scenarios can be registered by downstream
+code through :func:`repro.scenarios.register_scenario`.
+"""
+
+from __future__ import annotations
+
+from .registry import Scenario, register_scenario
+
+__all__ = ["BUILTIN_SCENARIOS"]
+
+BUILTIN_SCENARIOS: tuple[Scenario, ...] = (
+    Scenario(
+        name="paper-single-bit",
+        description=(
+            "The paper's fault model over all four assignment policies; "
+            "reproduces the seed error-rate numbers bit-identically"
+        ),
+        benchmarks=("bench", "fout"),
+        fault_model="single_bit",
+        policies=(
+            {"policy": "conventional"},
+            {"policy": "ranking", "fraction": 1.0},
+            {"policy": "cfactor", "threshold": 0.55},
+            {"policy": "complete"},
+        ),
+        objective="area",
+    ),
+    Scenario(
+        name="multibit-k2",
+        description="Double-bit input flips (all C(n,2) patterns, exact)",
+        benchmarks=("bench", "fout"),
+        fault_model={"model": "multibit", "k": 2},
+        policies=(
+            {"policy": "conventional"},
+            {"policy": "cfactor", "threshold": 0.55},
+        ),
+        objective="area",
+    ),
+    Scenario(
+        name="burst-w2",
+        description="Bursts of two adjacent input pins flipping together",
+        benchmarks=("bench", "fout"),
+        fault_model={"model": "burst", "width": 2},
+        policies=(
+            {"policy": "conventional"},
+            {"policy": "cfactor", "threshold": 0.55},
+        ),
+        objective="area",
+    ),
+    Scenario(
+        name="stuck-at-smoke",
+        description=(
+            "Internal stuck-at-0 faults measured on the optimised "
+            "network via the incremental fanout-cone engine"
+        ),
+        benchmarks=("bench", "fout"),
+        fault_model={"model": "stuck_at", "value": 0},
+        policies=(
+            {"policy": "conventional"},
+            {"policy": "cfactor", "threshold": 0.55},
+        ),
+        objective="area",
+    ),
+    Scenario(
+        name="synthetic-single-bit",
+        description=(
+            "Generator-backed benchmarks (no Table-1 roster) under the "
+            "paper's fault model"
+        ),
+        generated=(
+            {"name": "syn8a", "inputs": 8, "outputs": 4, "cf": 0.55,
+             "dc": 0.6, "seed": 11},
+            {"name": "syn8b", "inputs": 8, "outputs": 4, "cf": 0.70,
+             "dc": 0.5, "seed": 12},
+        ),
+        fault_model="single_bit",
+        policies=(
+            {"policy": "ranking", "fraction": 0.5},
+            {"policy": "ranking", "fraction": 1.0},
+        ),
+        objective="area",
+    ),
+)
+
+for _scenario in BUILTIN_SCENARIOS:
+    register_scenario(_scenario)

@@ -1,0 +1,190 @@
+"""Declarative scenarios: benchmark set × fault model × policies.
+
+A :class:`Scenario` names one reproducible slice of the evaluation
+matrix — which benchmarks (Table-1 stand-ins, ``.pla`` paths, or
+synthetic generator configs), which fault model, which assignment
+policies, which synthesis objective.  Scenarios are plain data: running
+one (:func:`repro.scenarios.runner.run_scenario`, CLI ``repro bench``)
+fans each (benchmark, policy) point through the standard six-stage
+pipeline on the warm worker pool and persists the results into the
+``BENCH_scenarios.json`` matrix that ``repro obs regressions`` gates.
+
+Scenarios register under a name with :func:`register_scenario`, in the
+style of the fault-model and stage registries, so CLI and CI refer to
+them as strings (``repro bench paper-single-bit``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from ..core.spec import FunctionSpec
+
+__all__ = [
+    "Scenario",
+    "describe_scenarios",
+    "get_scenario",
+    "register_scenario",
+    "registered_scenarios",
+    "scenario_names",
+    "scenario_specs",
+]
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One named evaluation scenario (pure data, see module docstring).
+
+    Attributes:
+        name: registry key (``paper-single-bit``, ...).
+        description: one line for ``repro bench --list``.
+        benchmarks: Table-1 stand-in names or ``.pla`` paths.
+        generated: synthetic benchmark configs, each a kwargs dict for
+            :func:`repro.benchgen.generate_spec` (``name``, ``inputs``,
+            ``outputs``, ``cf``, ``dc``, optional ``seed``).
+        fault_model: declarative fault-model spec (name or dict, see
+            :func:`repro.faults.create_fault_model`).
+        policies: one dict per assignment policy point: ``policy`` plus
+            optional ``fraction`` / ``threshold`` knobs.
+        objective: synthesis objective for every point.
+    """
+
+    name: str
+    description: str
+    benchmarks: tuple[str, ...] = ()
+    generated: tuple[Mapping[str, Any], ...] = ()
+    fault_model: Any = "single_bit"
+    policies: tuple[Mapping[str, Any], ...] = ({"policy": "conventional"},)
+    objective: str = "area"
+
+    def num_points(self) -> int:
+        """Pipeline runs this scenario fans out."""
+        return (len(self.benchmarks) + len(self.generated)) * len(self.policies)
+
+    def fault_model_spec(self) -> dict[str, Any]:
+        """The canonical fault-model spec dict (validates the model)."""
+        from ..faults import create_fault_model
+
+        return create_fault_model(self.fault_model).spec_dict()
+
+
+def scenario_specs(scenario: Scenario) -> list[FunctionSpec]:
+    """Load/generate every benchmark spec of *scenario*, in order.
+
+    Raises:
+        SystemExit is *not* used here (unlike the CLI loader): unknown
+        benchmark tokens raise :class:`ValueError` so library callers
+        get a catchable error.
+    """
+    from ..benchgen import benchmark_names, generate_spec, mcnc_benchmark
+    from ..pla import read_pla
+
+    specs: list[FunctionSpec] = []
+    for token in scenario.benchmarks:
+        if token.endswith(".pla"):
+            specs.append(read_pla(token))
+        elif token in benchmark_names():
+            specs.append(mcnc_benchmark(token))
+        else:
+            raise ValueError(
+                f"scenario {scenario.name!r}: unknown benchmark {token!r} "
+                f"(pass a .pla path or one of {benchmark_names()})"
+            )
+    for config in scenario.generated:
+        config = dict(config)
+        specs.append(
+            generate_spec(
+                config.pop("name"),
+                config.pop("inputs"),
+                config.pop("outputs"),
+                target_cf=config.pop("cf"),
+                dc_fraction=config.pop("dc"),
+                seed=config.pop("seed", 0),
+                **config,
+            )
+        )
+    return specs
+
+
+_REGISTRY: dict[str, Scenario] = {}
+
+
+def register_scenario(scenario: Scenario) -> Scenario:
+    """Register *scenario* under its name.
+
+    Raises:
+        ValueError: on empty names, duplicate registration with
+            different content, unknown policies/objectives, or a fault
+            model the registry cannot resolve — configs fail at import
+            time, not in a pool worker mid-run.
+    """
+    from ..pipeline.stages import OBJECTIVES, POLICIES
+
+    if not scenario.name:
+        raise ValueError("scenario needs a name")
+    existing = _REGISTRY.get(scenario.name)
+    if existing is not None and existing != scenario:
+        raise ValueError(
+            f"scenario name {scenario.name!r} already registered"
+        )
+    if scenario.objective not in OBJECTIVES:
+        raise ValueError(
+            f"scenario {scenario.name!r}: objective must be one of "
+            f"{OBJECTIVES}, got {scenario.objective!r}"
+        )
+    if not scenario.policies:
+        raise ValueError(f"scenario {scenario.name!r} has no policy points")
+    for point in scenario.policies:
+        if point.get("policy") not in POLICIES:
+            raise ValueError(
+                f"scenario {scenario.name!r}: policy must be one of "
+                f"{POLICIES}, got {point.get('policy')!r}"
+            )
+    if not scenario.benchmarks and not scenario.generated:
+        raise ValueError(f"scenario {scenario.name!r} has no benchmarks")
+    scenario.fault_model_spec()  # validates the fault-model spec
+    _REGISTRY[scenario.name] = scenario
+    return scenario
+
+
+def get_scenario(name: str) -> Scenario:
+    """The registered scenario called *name*.
+
+    Raises:
+        KeyError: for unknown names, listing the registry.
+    """
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scenario {name!r}; registered scenarios: "
+            f"{scenario_names()}"
+        ) from None
+
+
+def registered_scenarios() -> dict[str, Scenario]:
+    """Name-to-scenario view of the registry (registration order)."""
+    return dict(_REGISTRY)
+
+
+def scenario_names() -> list[str]:
+    """Registered scenario names, in registration order."""
+    return list(_REGISTRY)
+
+
+def describe_scenarios() -> list[dict[str, Any]]:
+    """JSON-ready registry listing for ``repro info --json`` / ``--list``."""
+    return [
+        {
+            "name": scenario.name,
+            "description": scenario.description,
+            "benchmarks": list(scenario.benchmarks)
+            + [config.get("name", "?") for config in scenario.generated],
+            "fault_model": scenario.fault_model_spec(),
+            "policies": [dict(point) for point in scenario.policies],
+            "objective": scenario.objective,
+            "points": scenario.num_points(),
+        }
+        for scenario in _REGISTRY.values()
+    ]

@@ -99,18 +99,18 @@ class IncrementalNetworkSim:
             [self.values[signal] for signal in self.network.outputs.values()]
         )
 
-    def flip_outputs(self, flip: str) -> np.ndarray:
-        """Packed PO tables when signal *flip* is complemented everywhere.
+    def _patched_outputs(self, signal: str, patched_words: np.ndarray) -> np.ndarray:
+        """Packed PO tables when *signal*'s value is replaced wholesale.
 
-        Only the cone of *flip* is re-evaluated; untouched outputs share
-        the base arrays, so comparing against :meth:`output_words` costs
-        one XOR per word.
+        The shared cone-re-evaluation kernel behind :meth:`flip_outputs`
+        (complement) and :meth:`forced_outputs` (stuck-at constant):
+        only the cone of *signal* is re-evaluated; untouched outputs
+        share the base arrays, so comparing against
+        :meth:`output_words` costs one XOR per word.
         """
-        cone = self.cone(flip)
+        cone = self.cone(signal)
         obs_metrics.counter("sim.cone_nodes").inc(len(cone))
-        patched: dict[str, np.ndarray] = {
-            flip: pk.zero_tail(~self.values[flip], self.num_vectors)
-        }
+        patched: dict[str, np.ndarray] = {signal: patched_words}
         for name in cone:
             node = self.network.nodes[name]
             fanins = [
@@ -119,9 +119,15 @@ class IncrementalNetworkSim:
             patched[name] = eval_node(node.cover, fanins, self.num_vectors)
         return np.array(
             [
-                patched.get(signal, self.values[signal])
-                for signal in self.network.outputs.values()
+                patched.get(signal_name, self.values[signal_name])
+                for signal_name in self.network.outputs.values()
             ]
+        )
+
+    def flip_outputs(self, flip: str) -> np.ndarray:
+        """Packed PO tables when signal *flip* is complemented everywhere."""
+        return self._patched_outputs(
+            flip, pk.zero_tail(~self.values[flip], self.num_vectors)
         )
 
     def flip_difference(self, flip: str) -> np.ndarray:
@@ -129,6 +135,31 @@ class IncrementalNetworkSim:
         base = self.output_words()
         flipped = self.flip_outputs(flip)
         return np.bitwise_or.reduce(base ^ flipped, axis=0)
+
+    def forced_outputs(self, name: str, value: bool) -> np.ndarray:
+        """Packed PO tables when signal *name* is stuck at *value*.
+
+        The stuck-at counterpart of :meth:`flip_outputs`: the signal is
+        forced to the constant on every vector and its fanout cone is
+        re-evaluated.  Vectors where the signal already equals *value*
+        see unchanged cone inputs, so their outputs match the base
+        tables bit for bit — the classical "fault not excited" case
+        falls out of the packed evaluation for free.
+        """
+        base = self.values[name]
+        if value:
+            forced = pk.zero_tail(
+                np.full_like(base, np.iinfo(np.uint64).max), self.num_vectors
+            )
+        else:
+            forced = np.zeros_like(base)
+        return self._patched_outputs(name, forced)
+
+    def forced_difference(self, name: str, value: bool) -> np.ndarray:
+        """One word row: bit *v* set iff some PO changes under the stuck-at."""
+        base = self.output_words()
+        forced = self.forced_outputs(name, value)
+        return np.bitwise_or.reduce(base ^ forced, axis=0)
 
     # -------------------------------------------------------------- updates
 

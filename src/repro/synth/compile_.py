@@ -49,8 +49,10 @@ class SynthesisResult:
         power: total (dynamic + leakage) power.
         num_gates: cell instance count.
         literals: technology-independent literal count after optimisation.
-        error_rate: single-bit input-error rate, with error sources drawn
-            from the care set of the originally supplied spec.
+        error_rate: exact error rate under the compile's fault model
+            (default: the paper's single-bit input flip, with error
+            sources drawn from the care set of the originally supplied
+            spec — see :mod:`repro.faults`).
         implemented: the fully specified function of the netlist.
     """
 
@@ -71,11 +73,13 @@ def compile_network(
     objective: str = "delay",
     library: Library | None = None,
     optimize: bool = True,
+    fault_model=None,
 ) -> SynthesisResult:
     """Optimise, map and measure an existing network against *spec*.
 
     A thin driver over the ``optimize`` → ``map`` → ``tune`` →
-    ``measure`` stage suffix.
+    ``measure`` stage suffix.  ``fault_model`` selects the measurement's
+    error semantics (default: the single-bit input flip).
 
     Raises:
         ValueError: on unknown objectives or if the mapped netlist fails
@@ -87,7 +91,12 @@ def compile_network(
     pipe = Pipeline(
         ["optimize", "map", "tune", "measure"],
         name="compile-network",
-        params={"objective": objective, "library": library, "optimize": optimize},
+        params={
+            "objective": objective,
+            "library": library,
+            "optimize": optimize,
+            "fault_model": fault_model,
+        },
     )
     ctx = pipe.run(spec=spec, assigned_spec=spec, network=network)
     return ctx.require("synthesis")
@@ -99,6 +108,7 @@ def compile_spec(
     objective: str = "delay",
     library: Library | None = None,
     source_spec: FunctionSpec | None = None,
+    fault_model=None,
 ) -> SynthesisResult:
     """Full flow from an (incompletely specified) function to measurements.
 
@@ -106,7 +116,8 @@ def compile_spec(
     stage.  When *spec* is itself the result of a reliability-driven
     partial assignment, pass the *original* specification as
     ``source_spec`` so the error rate uses the original care set as its
-    error-source distribution.
+    error-source distribution.  ``fault_model`` selects the
+    measurement's error semantics (default: the single-bit input flip).
     """
     from ..pipeline import Pipeline, validate_objective
 
@@ -116,7 +127,11 @@ def compile_spec(
         pipe = Pipeline(
             ["espresso", "optimize", "map", "tune", "measure"],
             name="compile-spec",
-            params={"objective": objective, "library": library},
+            params={
+                "objective": objective,
+                "library": library,
+                "fault_model": fault_model,
+            },
         )
         ctx = pipe.run(spec=source, assigned_spec=spec)
         return ctx.require("synthesis")

@@ -218,23 +218,38 @@ def internal_error_rate(
     *,
     source_mask: np.ndarray | None = None,
     sim: IncrementalNetworkSim | None = None,
+    fault_model=None,
 ) -> float:
-    """Probability that flipping a random internal node propagates.
+    """Probability that a random internal-node fault propagates.
 
     Averages, over all internal nodes and admissible PI vectors, the
-    indicator that complementing the node's output changes at least one
-    primary output.  This is the circuit-internal analogue of the paper's
-    input-error rate and the metric the nodal-decomposition extension
-    improves.
+    indicator that injecting the fault on the node changes at least one
+    primary output.  The default fault is the paper-era complement
+    (node flip); any node-scope :class:`~repro.faults.FaultModel` —
+    e.g. ``StuckAtNode`` — can be injected instead.  This is the
+    circuit-internal analogue of the paper's input-error rate and the
+    metric the nodal-decomposition extension improves.
 
     Args:
         network: the network under test.
         source_mask: admissible PI vectors (default: all).
         sim: a live :class:`IncrementalNetworkSim` to reuse (optional).
+        fault_model: node-scope fault model or declarative spec
+            (default: the node flip).
     """
     node_names = list(network.nodes)
     if not node_names:
         return 0.0
+    if fault_model is not None:
+        from ..faults import create_fault_model
+
+        fault_model = create_fault_model(fault_model)
+        if fault_model.scope != "node":
+            raise ValueError(
+                f"fault model {fault_model.name!r} has scope "
+                f"{fault_model.scope!r}; the internal error rate needs a "
+                f"node-scope model"
+            )
     if sim is None:
         sim = IncrementalNetworkSim(network)
     base = sim.output_words()
@@ -247,9 +262,14 @@ def internal_error_rate(
     total = 0
     with span("odc.internal_error_rate", nodes=len(node_names)):
         for name in node_names:
-            diff = np.bitwise_or.reduce(base ^ sim.flip_outputs(name), axis=0)
+            if fault_model is None:
+                diff = np.bitwise_or.reduce(
+                    base ^ sim.flip_outputs(name), axis=0
+                )
+            else:
+                diff = fault_model.node_difference(sim, name)
             if source_words is not None:
-                diff &= source_words
+                diff = diff & source_words
             total += pk.popcount(diff)
     return total / (len(node_names) * max(1, admissible))
 
@@ -278,6 +298,7 @@ def reassign_internal_dcs(
     fraction: float = 1.0,
     max_fanins: int = 10,
     wide_nodes: str = "skip",
+    fault_model=None,
 ) -> NodalReport:
     """Reassign every node's internal DCs for reliability (in place).
 
@@ -307,6 +328,9 @@ def reassign_internal_dcs(
             within :data:`MAX_EXHAUSTIVE_FANINS` through the
             simulation+SAT extractor (and skips, with the counter, only
             the ones beyond the hard cap).
+        fault_model: node-scope fault model (or declarative spec) used
+            for the report's before/after error rates (default: the
+            node flip, the historical metric).
 
     Raises:
         ValueError: on unknown policies or *wide_nodes* modes, or if a
@@ -320,7 +344,7 @@ def reassign_internal_dcs(
     with span("odc.reassign", nodes=len(network.nodes), policy=policy):
         sim = IncrementalNetworkSim(network)
         reference = sim.output_words().copy()
-        before = internal_error_rate(network, sim=sim)
+        before = internal_error_rate(network, sim=sim, fault_model=fault_model)
         changed = 0
         assigned_total = 0
         for name in list(network.topological_order()):
@@ -360,5 +384,5 @@ def reassign_internal_dcs(
                 raise ValueError(
                     f"rewriting node {name!r} changed the primary outputs"
                 )
-        after = internal_error_rate(network, sim=sim)
+        after = internal_error_rate(network, sim=sim, fault_model=fault_model)
     return NodalReport(changed, assigned_total, before, after)

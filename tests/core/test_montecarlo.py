@@ -153,12 +153,67 @@ class TestBatchAccounting:
         assert estimate.rate == 0.0
         assert sum(calls) <= 4 * 100
 
+    def test_pathologically_tight_filter_returns_fewer_samples(self):
+        """Admissibility below 1/max_draw_factor: the draw budget runs
+        out first, and the estimate honestly reports the shortfall."""
+        spec = FunctionSpec.from_truth_table(np.ones((1, 64)))
+
+        def only_all_ones(vectors):  # 1 vector in 64 is admissible
+            return np.all(vectors, axis=1)
+
+        estimate = estimate_error_rate(
+            spec_evaluator(spec), 6, samples=1000, batch=500,
+            rng=np.random.default_rng(14),
+            source_filter=only_all_ones, max_draw_factor=16,
+        )
+        assert 0 < estimate.samples < 1000
+
     def test_no_filter_uses_exactly_samples(self):
         spec = FunctionSpec.from_truth_table(np.array([[0, 1, 0, 1]]))
         estimate = estimate_error_rate(
             spec_evaluator(spec), 2, samples=777, rng=np.random.default_rng(13)
         )
         assert estimate.samples == 777
+
+
+class TestFaultModelParameter:
+    def test_explicit_single_bit_is_bit_identical(self):
+        """The default inline draw and SingleBitInput consume the RNG
+        identically, so seeded estimates are unchanged."""
+        from repro.faults import SingleBitInput
+
+        spec = FunctionSpec.from_truth_table(
+            np.random.default_rng(20).random((2, 64)) < 0.5
+        )
+        kwargs = dict(samples=3000)
+        legacy = estimate_error_rate(
+            spec_evaluator(spec), 6, rng=np.random.default_rng(21), **kwargs
+        )
+        explicit = estimate_error_rate(
+            spec_evaluator(spec), 6, rng=np.random.default_rng(21),
+            fault_model=SingleBitInput(), **kwargs
+        )
+        assert explicit == legacy
+
+    def test_declarative_spec_accepted(self):
+        spec = FunctionSpec.from_truth_table(np.array([[0, 1, 0, 1]]))
+        estimate = estimate_error_rate(
+            spec_evaluator(spec), 2, samples=500,
+            rng=np.random.default_rng(22),
+            fault_model={"model": "multibit", "k": 2},
+        )
+        # Both pins flip on every trial; f = x0 always changes.
+        assert estimate.rate == 1.0
+
+    def test_node_scope_model_rejected(self):
+        from repro.faults import StuckAtNode
+
+        spec = FunctionSpec.from_truth_table(np.array([[0, 1, 0, 1]]))
+        with pytest.raises(ValueError, match="scope"):
+            estimate_error_rate(
+                spec_evaluator(spec), 2, samples=10,
+                fault_model=StuckAtNode(0),
+            )
 
 
 class TestValidation:
